@@ -1,0 +1,45 @@
+"""Experiment Q1 (paper Sec. 1): ADI.
+
+The paper's canonical workload.  Validated against a sequential NumPy
+reference; the interesting *shape* is that all of ADI's remappings are
+essential (the array is rewritten under each mapping), so the
+optimizations neither help nor hurt its steady-state traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.adi import run_adi
+
+
+def test_adi(benchmark):
+    r0 = run_adi(n=64, steps=4, nprocs=4, level=0)
+    r3 = run_adi(n=64, steps=4, nprocs=4, level=3)
+    assert r0.correct and r3.correct
+    assert np.allclose(r0.value, r3.value)
+    assert r3.stats["bytes"] == r0.stats["bytes"]  # honest negative control
+
+    result = benchmark(lambda: run_adi(n=64, steps=4, nprocs=4, level=3))
+    assert result.correct
+    benchmark.extra_info.update(
+        {
+            "max_error": result.max_error,
+            "remaps": result.stats["remaps_performed"],
+            "bytes": result.stats["bytes"],
+            "naive_bytes": r0.stats["bytes"],
+            "sim_time_ms": result.elapsed * 1e3,
+        }
+    )
+
+
+def test_adi_scaling_procs(benchmark):
+    rows = {}
+    for p in (2, 4, 8):
+        r = run_adi(n=64, steps=2, nprocs=p)
+        assert r.correct
+        rows[p] = (r.stats["messages"], r.stats["bytes"])
+    # transposes are all-to-all: messages grow ~P^2, per-proc data shrinks
+    assert rows[8][0] > rows[4][0] > rows[2][0]
+    benchmark(lambda: run_adi(n=64, steps=2, nprocs=8))
+    benchmark.extra_info.update({f"p{p}": v for p, v in rows.items()})

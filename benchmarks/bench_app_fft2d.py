@@ -1,0 +1,31 @@
+"""Experiment Q2 (paper Sec. 1, ref. [10]): 2-D FFT via transpose remapping.
+
+Correctness vs numpy.fft.fft2 and the corner-turn's exact communication:
+P*(P-1) messages moving the (P-1)/P off-diagonal fraction of the matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.fft2d import run_fft2d
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_fft2d(benchmark, nprocs):
+    n = 64
+    r = benchmark(lambda: run_fft2d(n=n, nprocs=nprocs))
+    assert r.correct
+    total = n * n * 16  # complex128
+    assert r.stats["messages"] == nprocs * (nprocs - 1)
+    assert r.stats["bytes"] == total * (nprocs - 1) // nprocs
+    benchmark.extra_info.update(
+        {
+            "n": n,
+            "procs": nprocs,
+            "max_error": r.max_error,
+            "messages": r.stats["messages"],
+            "bytes": r.stats["bytes"],
+            "fraction_moved": r.stats["bytes"] / total,
+        }
+    )

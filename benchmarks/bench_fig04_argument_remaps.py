@@ -1,0 +1,72 @@
+"""Experiment F4 (paper Fig. 4): useless argument remappings.
+
+Three consecutive calls with CYCLIC dummies on a BLOCK actual: naive pays
+copy-in + copy-back per call (6 copies); optimized pays one copy in and --
+because intent(in) keeps the original BLOCK copy live -- a free copy back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIG4 = """
+subroutine foo(X)
+  integer n
+  real X(n)
+  intent in X
+!hpf$ distribute X(cyclic)
+  compute "use_x" reads X
+end
+
+subroutine bla(X)
+  integer n
+  real X(n)
+  intent in X
+!hpf$ distribute X(cyclic)
+  compute "use_x" reads X
+end
+
+subroutine main()
+  integer n
+  real Y(n)
+!hpf$ dynamic Y
+!hpf$ distribute Y(block)
+  compute writes Y
+  call foo(Y)
+  call foo(Y)
+  call bla(Y)
+  compute reads Y
+end
+"""
+
+N = 4096
+KERNELS = {"use_x": lambda ctx: ctx.value("x")}
+
+
+def _inputs():
+    return {"y": np.arange(float(N))}
+
+
+def test_fig4_argument_remaps(benchmark, run_program, traffic):
+    t = traffic(
+        FIG4, sub="main", bindings={"n": N}, inputs=_inputs(), kernels=KERNELS
+    )
+    naive, opt = t[0], t[3]
+
+    assert naive["remaps_performed"] == 6  # in+out per call
+    assert opt["remaps_performed"] == 1  # one copy in; copy back reuses live
+    assert opt["bytes"] * 6 == naive["bytes"]
+
+    benchmark(
+        lambda: run_program(
+            FIG4, sub="main", level=3, bindings={"n": N}, inputs=_inputs(), kernels=KERNELS
+        )
+    )
+    benchmark.extra_info.update(
+        {
+            "naive_remaps": naive["remaps_performed"],
+            "optimized_remaps": opt["remaps_performed"],
+            "naive_bytes": naive["bytes"],
+            "optimized_bytes": opt["bytes"],
+        }
+    )

@@ -1,0 +1,73 @@
+"""Experiment F5/F6 (paper Fig. 5/6): legality checking.
+
+Fig. 5's flow-dependent reference must be rejected; Fig. 6's ambiguous
+*state* (resolved before any reference) must compile.  The benchmark times
+the full legality analysis (construction) on the accepted program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_program
+from repro.errors import AmbiguousMappingError, MultipleLeavingMappingsError
+
+FIG5 = """
+subroutine main()
+  integer n
+  real A(n, n)
+!hpf$ template T1(n, n)
+!hpf$ template T2(n, n)
+!hpf$ align A with T1
+!hpf$ dynamic A
+!hpf$ distribute T1(block, *)
+!hpf$ distribute T2(block, *)
+  compute reads A
+  if c then
+!hpf$   realign A with T2
+    compute reads A
+  endif
+!hpf$ redistribute T2(cyclic, *)
+  compute reads A
+end
+"""
+
+FIG6 = """
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute reads A
+  if c then
+!hpf$   redistribute A(cyclic)
+    compute reads A
+  endif
+!hpf$ redistribute A(cyclic)
+  compute reads A
+end
+"""
+
+
+def test_fig5_rejected_fig6_accepted(benchmark):
+    with pytest.raises((AmbiguousMappingError, MultipleLeavingMappingsError)):
+        compile_program(FIG5, bindings={"n": 64}, processors=4)
+
+    compiled = benchmark(
+        lambda: compile_program(FIG6, bindings={"n": 64}, processors=4)
+    )
+    sub = compiled.get("main")
+    # the pinning redistribute is reached by both mappings
+    multi = [
+        v
+        for v in sub.graph.vertices.values()
+        if len(v.R.get("a", ())) == 2
+    ]
+    benchmark.extra_info.update(
+        {
+            "fig5": "rejected (restriction 1)",
+            "fig6": "accepted; pin vertex reached by 2 mappings",
+            "fig6_pin_vertices": len(multi),
+        }
+    )
+    assert len(multi) == 1

@@ -1,0 +1,72 @@
+"""Experiment F10/F11 (paper Fig. 10/11): the remapping graph.
+
+Compiling the paper's running example must produce the seven-vertex graph
+of Fig. 11 (four remapping statements + v_c + v_0 + v_e), with the zero-trip
+loop edges and the use labels the paper lists.  The benchmark times the
+full construction (Appendix B).
+"""
+
+from __future__ import annotations
+
+from repro import compile_program
+from repro.ir.cfg import NodeKind, build_cfg
+from repro.ir.effects import Use
+from repro.lang import parse_program, resolve_program
+from repro.mapping import ProcessorArrangement
+from repro.remap import build_remapping_graph
+
+FIG10 = """
+subroutine remap(A, m)
+  integer m, n, p
+  real A(n,n), B(n,n), C(n,n)
+  intent inout A
+!hpf$ align with A :: B, C
+!hpf$ dynamic A, B, C
+!hpf$ distribute A(block, *)
+  compute "init" writes B reads A
+  if c1 then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A, p reads A, B
+  else
+!hpf$   redistribute A(block, block)
+    compute writes p reads A
+  endif
+  do i = 1, m
+!hpf$   redistribute A(*, block)
+    compute writes C reads A
+!hpf$   redistribute A(block, *)
+    compute writes A reads A, C
+  enddo
+end
+"""
+
+
+def test_fig10_remap_graph(benchmark):
+    prog = resolve_program(
+        parse_program(FIG10),
+        bindings={"n": 64},
+        default_processors=ProcessorArrangement("P", (2, 2)),
+    )
+
+    res = benchmark(lambda: build_remapping_graph(build_cfg(prog.get("remap")), prog))
+    g = res.graph
+    assert len(g.vertices) == 7
+    remaps = sorted(
+        (v for v in g.vertices.values() if v.kind is NodeKind.REMAP),
+        key=lambda v: v.cfg_id,
+    )
+    v1, v2, v3, v4 = remaps
+    assert (v1.U["a"], v1.U["b"], v1.U["c"]) == (Use.W, Use.R, Use.N)
+    assert (v2.U["a"], v2.U["b"], v2.U["c"]) == (Use.R, Use.N, Use.N)
+    assert (v3.U["a"], v3.U["c"]) == (Use.R, Use.W)
+    assert (v4.U["a"], v4.U["c"]) == (Use.W, Use.R)
+    # zero-trip loop edges to the exit vertex (paper's "1 to E" edges)
+    assert res.cfg.exit in g.succs(v1.cfg_id, "a")
+    assert res.cfg.exit in g.succs(v2.cfg_id, "a")
+    benchmark.extra_info.update(
+        {
+            "vertices": len(g.vertices),
+            "edges": len(g.edges),
+            "versions_per_array": res.versions.count("a"),
+        }
+    )

@@ -1,0 +1,95 @@
+"""Experiment F12 (paper Fig. 12): the optimized remapping graph.
+
+After useless-remapping removal on the Fig. 10 example: A may be used with
+all four mappings, B only with two, C only with the loop mappings -- so
+some instances (the paper names B_2, C_0/C_1) are never instantiated, and
+C's instantiation "can be delayed and may never occur if the loop body is
+never executed".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+
+FIG10 = """
+subroutine remap(A, m)
+  integer m, n, p
+  real A(n,n), B(n,n), C(n,n)
+  intent inout A
+!hpf$ align with A :: B, C
+!hpf$ dynamic A, B, C
+!hpf$ distribute A(block, *)
+  compute "init" writes B reads A
+  if c1 then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A, p reads A, B
+  else
+!hpf$   redistribute A(block, block)
+    compute writes p reads A
+  endif
+  do i = 1, m
+!hpf$   redistribute A(*, block)
+    compute writes C reads A
+!hpf$   redistribute A(block, *)
+    compute writes A reads A, C
+  enddo
+end
+"""
+
+N = 32
+
+
+def _compile(level=3):
+    return compile_program(
+        FIG10, bindings={"n": N}, processors=4, options=CompilerOptions(level=level)
+    )
+
+
+def test_fig12_optimized_graph(benchmark):
+    compiled = benchmark(_compile)
+    g = compiled.get("remap").graph
+    # paper: A used with all mappings, B with two, C with the loop mappings
+    # (version numbering is textual: 0 initial, 1 cyclic, 2 block-block,
+    # 3 column-block; our loop-bottom mapping equals the initial one, so C's
+    # used set is {0, 3} where the paper's transliteration reads {2, 3})
+    assert g.used_versions("a") == {0, 1, 2, 3}
+    assert g.used_versions("b") == {0, 1}
+    assert g.used_versions("c") == {0, 3}
+    assert g.removed_count() > 0
+    benchmark.extra_info.update(
+        {
+            "used_a": sorted(g.used_versions("a")),
+            "used_b": sorted(g.used_versions("b")),
+            "used_c": sorted(g.used_versions("c")),
+            "slots_removed": g.removed_count(),
+        }
+    )
+
+
+def test_fig12_c_never_instantiated_when_loop_empty(benchmark):
+    compiled = _compile()
+
+    def run(m):
+        machine = Machine(compiled.processors)
+        env = ExecutionEnv(
+            conditions={"c1": True},
+            bindings={"m": m},
+            inputs={"a": np.ones((N, N))},
+        )
+        Executor(compiled, machine, env).run("remap")
+        return machine
+
+    m0 = run(0)
+    # zero-trip loop: no C traffic at all (instantiation delayed forever)
+    assert all(not k.startswith("c_") for k in m0.stats.per_array_bytes)
+    m2 = benchmark(lambda: run(2))
+    benchmark.extra_info.update(
+        {
+            "c_bytes_zero_trip": 0,
+            "c_bytes_two_iterations": sum(
+                v for k, v in m2.stats.per_array_bytes.items() if k.startswith("c_")
+            ),
+        }
+    )

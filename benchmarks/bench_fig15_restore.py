@@ -1,0 +1,84 @@
+"""Experiment F15/F18 (paper Fig. 15/18): reaching-status save/restore.
+
+A call whose argument arrives with a flow-dependent mapping is legal (the
+explicit v_b remapping resolves the ambiguity before the call); Fig. 18's
+save/restore re-establishes the reaching mapping afterwards.  At level 0
+the restore really executes; with optimizations, restriction 1 makes an
+unused ambiguous restore removable, and the next remapping sources directly
+from the dummy mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIG15 = """
+subroutine foo(X)
+  integer n
+  real X(n)
+  intent inout X
+!hpf$ distribute X(block(8))
+  compute "touch" writes X
+end
+
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(cyclic)
+  compute writes A
+  if c then
+!hpf$   redistribute A(cyclic(2))
+    compute reads A
+  endif
+  call foo(A)
+!hpf$ redistribute A(block)
+  compute reads A
+end
+"""
+
+N = 32
+KERNELS = {"touch": lambda ctx: ctx.set_value("x", ctx.value("x") * 2)}
+
+
+def _inputs():
+    return {"a": np.arange(float(N))}
+
+
+def test_fig15_restore(benchmark, run_program):
+    data = np.arange(float(N))
+    expected = (0.5 * data + 1.0) * 2
+
+    results = {}
+    for level in (0, 3):
+        for c in (True, False):
+            r, m, _ = run_program(
+                FIG15,
+                sub="main",
+                level=level,
+                bindings={"n": N},
+                conditions={"c": c},
+                inputs=_inputs(),
+                kernels=KERNELS,
+            )
+            assert np.allclose(r.value("a"), expected)
+            results[(level, c)] = m.stats.remaps_performed
+
+    # the naive restore costs an extra copy on every path
+    assert results[(0, True)] > results[(3, True)]
+    assert results[(0, False)] > results[(3, False)]
+
+    benchmark(
+        lambda: run_program(
+            FIG15,
+            sub="main",
+            level=3,
+            bindings={"n": N},
+            conditions={"c": True},
+            inputs=_inputs(),
+            kernels=KERNELS,
+        )
+    )
+    benchmark.extra_info.update(
+        {f"remaps_level{l}_c{c}": v for (l, c), v in results.items()}
+    )

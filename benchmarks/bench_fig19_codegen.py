@@ -1,0 +1,81 @@
+"""Experiment F19/F20 (paper Fig. 19/20): copy code generation.
+
+The generated runtime code for Fig. 13's final remapping must have exactly
+Fig. 20's guarded structure: status test, conditional allocation, liveness
+test, one guarded copy per possible reaching version, live flag and status
+updates.  Dead copies (U = D) must generate no copy statement at all.
+"""
+
+from __future__ import annotations
+
+from repro import CompilerOptions, compile_program
+from repro.remap.codegen import RemapOp, render_op
+
+FIG13 = """
+subroutine main()
+  integer n
+  real A(n, n)
+!hpf$ dynamic A
+!hpf$ distribute A(block, *)
+  compute reads A
+  if c then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A
+  else
+!hpf$   redistribute A(cyclic(2), *)
+    compute reads A
+  endif
+!hpf$ redistribute A(block, *)
+  compute reads A
+end
+"""
+
+DEAD = """
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute reads A
+!hpf$ redistribute A(cyclic)
+  compute defines A
+  compute reads A
+end
+"""
+
+
+def test_fig19_codegen(benchmark):
+    compiled = benchmark(
+        lambda: compile_program(FIG13, bindings={"n": 16}, processors=4)
+    )
+    code = compiled.get("main").code
+    final = [
+        op
+        for op in code.all_ops()
+        if isinstance(op, RemapOp) and op.leaving == 0 and len(op.reaching) == 2
+    ]
+    assert len(final) == 1
+    text = "\n".join(render_op(final[0]))
+    # Fig. 20's structure, version-for-version
+    assert "if status(a) != 0" in text
+    assert "allocate a_0 if needed" in text
+    assert "if not live(a_0)" in text
+    assert "if status(a) == 1: a_0 = a_1" in text
+    assert "if status(a) == 2: a_0 = a_2" in text
+    assert "live(a_0) = true" in text
+    assert "status(a) = 0" in text
+    benchmark.extra_info["generated"] = text.replace("\n", " | ")
+
+
+def test_fig19_dead_copy_no_communication(benchmark):
+    compiled = benchmark(
+        lambda: compile_program(DEAD, bindings={"n": 16}, processors=4)
+    )
+    code = compiled.get("main").code
+    remaps = [op for op in code.all_ops() if isinstance(op, RemapOp)]
+    assert len(remaps) == 1
+    text = "\n".join(render_op(remaps[0]))
+    # U = D: allocated, never copied
+    assert "no copy" in text
+    assert "a_1 = a_0" not in text
+    benchmark.extra_info["generated"] = text.replace("\n", " | ")

@@ -1,0 +1,72 @@
+"""Experiment Q9 (paper Sec. 5.2): memory-pressure eviction of live copies.
+
+"The runtime can decide to free a live copy if not enough memory is
+available ... If required later on, the copy will be regenerated."  Under a
+tight per-processor memory limit the run must still complete correctly,
+paying regeneration copies an unconstrained machine avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LOOP3 = """
+subroutine main(m)
+  integer n, m
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, m
+!hpf$   redistribute A(cyclic)
+    compute reads A
+!hpf$   redistribute A(cyclic(2))
+    compute reads A
+!hpf$   redistribute A(block)
+    compute reads A
+  enddo
+end
+"""
+
+N, M = 64, 4
+COPY_BYTES = (N // 4) * 8  # one copy per processor
+
+
+def _inputs():
+    return {"a": np.arange(float(N))}
+
+
+def test_memory_eviction(benchmark, run_program):
+    r_free, m_free, _ = run_program(
+        LOOP3, level=2, bindings={"n": N, "m": M}, inputs=_inputs()
+    )
+    r_tight, m_tight, _ = run_program(
+        LOOP3,
+        level=2,
+        bindings={"n": N, "m": M},
+        inputs=_inputs(),
+        memory_limit=2 * COPY_BYTES + COPY_BYTES // 2,
+    )
+    assert np.allclose(r_free.value("a"), r_tight.value("a"))
+    assert m_free.stats.evictions == 0
+    assert m_tight.stats.evictions > 0
+    assert m_tight.stats.remaps_performed >= m_free.stats.remaps_performed
+    assert m_tight.mem_peak() <= 2 * COPY_BYTES + COPY_BYTES // 2
+
+    benchmark(
+        lambda: run_program(
+            LOOP3,
+            level=2,
+            bindings={"n": N, "m": M},
+            inputs=_inputs(),
+            memory_limit=2 * COPY_BYTES + COPY_BYTES // 2,
+        )
+    )
+    benchmark.extra_info.update(
+        {
+            "evictions": m_tight.stats.evictions,
+            "copies_unconstrained": m_free.stats.remaps_performed,
+            "copies_tight_memory": m_tight.stats.remaps_performed,
+            "mem_peak_tight": m_tight.mem_peak(),
+        }
+    )

@@ -1,0 +1,78 @@
+"""Experiment Q7 (paper Sec. 4.3): the status check is 'inexpensive'.
+
+The claim behind loop-invariant motion is that skipping a remapping via
+the runtime status test costs almost nothing compared to the copy it
+avoids.  We measure both sides: a status-skipped remapping vs a performed
+one, in simulated machine time and in host time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SKIP = """
+subroutine main(t)
+  integer n, t
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, t
+!hpf$   redistribute A(block)
+    compute reads A
+  enddo
+end
+"""
+
+COPY = """
+subroutine main(t)
+  integer n, t
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, t
+!hpf$   redistribute A(cyclic)
+    compute reads A
+!hpf$   redistribute A(block)
+    compute reads A
+  enddo
+end
+"""
+
+N, T = 4096, 16
+
+
+def _inputs():
+    return {"a": np.ones(N)}
+
+
+def test_status_check_vs_copy(benchmark, run_program):
+    # NOTE: a redistribute to the array's current mapping is already dropped
+    # statically; to measure the *runtime* status path we use level 1 on a
+    # program whose remap target alternates, then count skipped ones
+    _, m_skip, _ = run_program(
+        COPY, level=2, bindings={"n": N, "t": T}, inputs=_inputs()
+    )
+    _, m_copy, _ = run_program(
+        COPY, level=0, bindings={"n": N, "t": T}, inputs=_inputs()
+    )
+    # level 2 reuses live copies: after iteration 1, all remaps are skipped
+    skipped = m_skip.stats.remaps_skipped_live + m_skip.stats.remaps_skipped_status
+    assert skipped >= 2 * T - 2
+    assert m_copy.stats.remaps_performed == 2 * T
+    # simulated time: skips must be drastically cheaper
+    assert m_skip.elapsed < m_copy.elapsed / 5
+
+    benchmark(
+        lambda: run_program(COPY, level=2, bindings={"n": N, "t": T}, inputs=_inputs())
+    )
+    benchmark.extra_info.update(
+        {
+            "skipped_remaps": skipped,
+            "performed_naive": m_copy.stats.remaps_performed,
+            "sim_time_skip_ms": m_skip.elapsed * 1e3,
+            "sim_time_copy_ms": m_copy.elapsed * 1e3,
+            "speedup": m_copy.elapsed / m_skip.elapsed,
+        }
+    )

@@ -1,0 +1,53 @@
+"""Experiment Q5 (paper Appendix B): construction complexity.
+
+The paper bounds the propagation + graph construction at
+O(n * s * m^2 * p^2) for n CFG vertices, m remapping statements and p
+distributed arrays.  We measure construction time on parameterized chain
+and branchy programs to confirm polynomial (not exploding) scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import branchy_subroutine, chain_subroutine
+from repro.ir.cfg import build_cfg
+from repro.lang import resolve_program
+from repro.mapping import ProcessorArrangement
+from repro.remap import build_remapping_graph
+
+P4 = ProcessorArrangement("P", (4,))
+
+
+def _construct(program):
+    resolved = resolve_program(program, bindings={}, default_processors=P4)
+    sub = next(iter(resolved.subroutines.values()))
+    return build_remapping_graph(build_cfg(sub), resolved)
+
+
+@pytest.mark.parametrize("m", [4, 16, 64])
+def test_construction_scaling_chain_length(benchmark, m):
+    program = chain_subroutine(m=m, p=2)
+    res = benchmark(lambda: _construct(program))
+    benchmark.extra_info.update(
+        {"remap_statements": m, "gr_vertices": len(res.graph.vertices)}
+    )
+    assert len(res.graph.vertices) == m + 3  # + v_c, v_0, v_e
+
+
+@pytest.mark.parametrize("p", [1, 4, 16])
+def test_construction_scaling_array_count(benchmark, p):
+    program = chain_subroutine(m=8, p=p)
+    res = benchmark(lambda: _construct(program))
+    benchmark.extra_info.update(
+        {"arrays": p, "gr_vertices": len(res.graph.vertices)}
+    )
+
+
+@pytest.mark.parametrize("m", [2, 8, 32])
+def test_construction_scaling_branchy(benchmark, m):
+    program = branchy_subroutine(m=m, p=2)
+    res = benchmark(lambda: _construct(program))
+    benchmark.extra_info.update(
+        {"branches": m, "gr_vertices": len(res.graph.vertices)}
+    )

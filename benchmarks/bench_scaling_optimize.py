@@ -1,0 +1,55 @@
+"""Experiment Q6 (paper Appendix C/D): optimization complexity.
+
+Useless-remapping removal is bounded at O(m^2 * p * q * r) with m graph
+vertices, p arrays, q mappings per array and r predecessors, "expected to
+be very small".  We measure removal + live-copy analysis time as the graph
+grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import branchy_subroutine, chain_subroutine
+from repro.ir.cfg import build_cfg
+from repro.lang import resolve_program
+from repro.mapping import ProcessorArrangement
+from repro.remap import build_remapping_graph, compute_live_copies, remove_useless_remappings
+
+P4 = ProcessorArrangement("P", (4,))
+
+
+def _graph(program):
+    resolved = resolve_program(program, bindings={}, default_processors=P4)
+    sub = next(iter(resolved.subroutines.values()))
+    return build_remapping_graph(build_cfg(sub), resolved)
+
+
+@pytest.mark.parametrize("m", [8, 32, 128])
+def test_optimize_scaling_chain(benchmark, m):
+    program = chain_subroutine(m=m, p=2)
+
+    def optimize():
+        res = _graph(program)
+        report = remove_useless_remappings(res.graph)
+        compute_live_copies(res.graph)
+        return report
+
+    report = benchmark(optimize)
+    benchmark.extra_info.update(
+        {"remap_statements": m, "removed": report.removed_count}
+    )
+
+
+@pytest.mark.parametrize("m", [4, 16, 64])
+def test_optimize_scaling_branchy(benchmark, m):
+    program = branchy_subroutine(m=m, p=2)
+
+    def optimize():
+        res = _graph(program)
+        report = remove_useless_remappings(res.graph)
+        compute_live_copies(res.graph)
+        return report
+
+    report = benchmark(optimize)
+    benchmark.extra_info.update({"branches": m, "removed": report.removed_count})

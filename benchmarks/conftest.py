@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+executes (or compiles) a program under different optimization levels,
+asserts the *shape* of the paper's claim (who wins, by what factor), and
+records the measured numbers in ``benchmark.extra_info`` so
+``pytest benchmarks/ --benchmark-only`` prints a complete reproduction
+record (transcribed into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+
+
+@pytest.fixture
+def run_program():
+    """Compile and execute a program; returns (result, machine, compiled)."""
+
+    def _run(
+        source,
+        level: int = 3,
+        sub: str | None = None,
+        bindings: dict | None = None,
+        conditions: dict | None = None,
+        inputs: dict | None = None,
+        kernels: dict | None = None,
+        nprocs: int = 4,
+        dtype=np.float64,
+        memory_limit: int | None = None,
+    ):
+        compiled = compile_program(
+            source,
+            bindings=bindings,
+            processors=nprocs,
+            options=CompilerOptions(level=level),
+        )
+        name = sub or next(iter(compiled.subroutines))
+        machine = Machine(compiled.processors, memory_limit=memory_limit)
+        env = ExecutionEnv(
+            conditions=conditions or {},
+            bindings=bindings or {},
+            inputs=inputs or {},
+            kernels=kernels or {},
+            dtype=dtype,
+        )
+        result = Executor(compiled, machine, env).run(name)
+        return result, machine, compiled
+
+    return _run
+
+
+@pytest.fixture
+def traffic(run_program):
+    """Run at several levels, return {level: stats-snapshot}."""
+
+    def _traffic(source, levels=(0, 3), **kw):
+        out = {}
+        for level in levels:
+            _, machine, _ = run_program(source, level=level, **kw)
+            out[level] = machine.stats.snapshot()
+        return out
+
+    return _traffic

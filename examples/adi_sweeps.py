@@ -1,0 +1,35 @@
+"""ADI: the paper's canonical dynamic-remapping workload (Sec. 1, Fig. 10).
+
+Alternating tridiagonal sweeps along rows and columns; each direction is
+only SPMD-local under its own distribution, so the solution array is
+remapped twice per time step.  Validates against a sequential NumPy
+reference and reports remapping traffic per optimization level.
+
+Run::
+
+    python examples/adi_sweeps.py
+"""
+
+from repro.apps.adi import run_adi
+
+
+def main() -> None:
+    n, steps, nprocs = 64, 6, 4
+    print(f"ADI {n}x{n}, {steps} steps, {nprocs} processors")
+    print(f"{'level':>6} {'ok':>4} {'max err':>10} {'remaps':>7} {'bytes':>10} {'sim time':>10}")
+    for level in (0, 1, 2, 3):
+        r = run_adi(n=n, steps=steps, nprocs=nprocs, level=level)
+        print(
+            f"{level:>6} {str(r.correct):>4} {r.max_error:>10.2e} "
+            f"{r.stats['remaps_performed']:>7} {r.stats['bytes']:>10} "
+            f"{r.elapsed * 1e3:>8.2f}ms"
+        )
+    print(
+        "\nADI is the honest negative control: every transpose is essential\n"
+        "(u is rewritten under each mapping), so the optimizations can only\n"
+        "shave the redundant first loop-top remapping -- and must not hurt."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: compile the paper's running example (Fig. 10) and execute it.
+
+Run::
+
+    python examples/quickstart.py
+
+Shows the full pipeline: mini-HPF source -> remapping graph (Fig. 11) ->
+dataflow optimizations (Fig. 12) -> generated copy code (Fig. 20 style) ->
+execution on a simulated 4-processor machine with message accounting.
+"""
+
+import numpy as np
+
+from repro import (
+    CompilerOptions,
+    ExecutionEnv,
+    Executor,
+    Machine,
+    compilation_report,
+    compile_program,
+)
+
+FIG10 = """
+subroutine remap(A, m)
+  integer m, n, p
+  real A(n,n), B(n,n), C(n,n)
+  intent inout A
+!hpf$ align with A :: B, C
+!hpf$ dynamic A, B, C
+!hpf$ distribute A(block, *)
+  compute "init" writes B reads A
+  if c1 then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A, p reads A, B
+  else
+!hpf$   redistribute A(block, block)
+    compute writes p reads A
+  endif
+  do i = 1, m
+!hpf$   redistribute A(*, block)
+    compute writes C reads A
+!hpf$   redistribute A(block, *)
+    compute writes A reads A, C
+  enddo
+end
+"""
+
+
+def main() -> None:
+    n, steps = 16, 3
+    compiled = compile_program(
+        FIG10, bindings={"n": n}, processors=4, options=CompilerOptions(level=3)
+    )
+
+    print(compilation_report(compiled))
+    print()
+
+    for level, label in [(0, "naive"), (3, "optimized")]:
+        cp = compile_program(
+            FIG10, bindings={"n": n}, processors=4, options=CompilerOptions(level=level)
+        )
+        machine = Machine(cp.processors)
+        env = ExecutionEnv(
+            conditions={"c1": True},
+            bindings={"m": steps},
+            inputs={"a": np.arange(n * n, dtype=float).reshape(n, n)},
+        )
+        result = Executor(cp, machine, env).run("remap")
+        s = machine.stats
+        print(
+            f"{label:>9}: remaps performed={s.remaps_performed:3d} "
+            f"skipped={s.remaps_skipped_live + s.remaps_skipped_status:3d} "
+            f"messages={s.messages:4d} bytes={s.bytes:6d} "
+            f"simulated time={machine.elapsed * 1e3:7.3f} ms"
+        )
+        print(f"           A restored to its declared mapping: status={result.status('a')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""SAR-style signal processing with a corner turn (paper Sec. 1, ref. [17]).
+
+Range compression (per-row matched filtering), corner-turn remapping,
+azimuth compression (per-column matched filtering), plus multi-look passes.
+Synthetic point targets stand in for proprietary radar data; the code path
+is the published pipeline's.
+
+Run::
+
+    python examples/sar_pipeline.py
+"""
+
+import numpy as np
+
+from repro.apps.sar import run_sar
+
+
+def main() -> None:
+    r = run_sar(n=128, looks=2, nprocs=4)
+    mag = np.abs(r.value)
+    print(f"image {mag.shape}, focused correctly: {r.correct} (max err {r.max_error:.2e})")
+    print(f"peak/median dynamic range: {mag.max() / np.median(mag):.1f}x")
+    print(f"corner-turn remappings: {r.stats['remaps_performed']}")
+    print(f"messages: {r.stats['messages']}, bytes: {r.stats['bytes']}")
+    print(f"simulated time: {r.elapsed * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: a reproduction of Coelho, "Compiling Dynamic Mappings with Array
+Copies" (PPoPP'97).
+
+An HPF-style compiler front end, the paper's remapping-graph construction
+and dataflow optimizations, copy code generation, and a runtime executing
+the result on a simulated distributed-memory machine with exact message
+accounting.
+
+Quickstart::
+
+    from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+
+    compiled = compile_program(SOURCE, bindings={"n": 64}, processors=4)
+    machine = Machine(4)
+    result = Executor(compiled, machine, ExecutionEnv(conditions={"c1": True})).run("main")
+    print(machine.stats.snapshot(), result.value("a"))
+"""
+
+from repro.compiler import (
+    CompiledProgram,
+    CompiledSubroutine,
+    CompilerOptions,
+    compilation_report,
+    compile_program,
+)
+from repro.lang.builder import SubroutineBuilder, program
+from repro.mapping import (
+    Alignment,
+    AxisAlign,
+    DistFormat,
+    Distribution,
+    Mapping,
+    ProcessorArrangement,
+    Template,
+)
+from repro.runtime import ExecutionEnv, ExecutionResult, Executor
+from repro.spmd import CostModel, DistributedArray, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alignment",
+    "AxisAlign",
+    "CompiledProgram",
+    "CompiledSubroutine",
+    "CompilerOptions",
+    "CostModel",
+    "DistFormat",
+    "DistributedArray",
+    "Distribution",
+    "ExecutionEnv",
+    "ExecutionResult",
+    "Executor",
+    "Machine",
+    "Mapping",
+    "ProcessorArrangement",
+    "SubroutineBuilder",
+    "Template",
+    "compilation_report",
+    "compile_program",
+    "program",
+]

@@ -1,0 +1,10 @@
+"""Dataflow analysis framework.
+
+Every analysis in the paper (Appendix B, C and D) is a "standard dataflow
+problem" in its words; this subpackage provides the shared iterative
+worklist solver they all instantiate.
+"""
+
+from repro.analysis.dataflow import Direction, solve
+
+__all__ = ["Direction", "solve"]

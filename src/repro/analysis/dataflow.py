@@ -1,0 +1,91 @@
+"""Generic iterative (worklist) dataflow solver.
+
+Problems provide a join over predecessor/successor states and a transfer
+function; the solver iterates to a fixpoint.  It works on any graph given as
+node ids plus ``preds``/``succs`` callables, so the same engine solves:
+
+* mapping propagation over the CFG (may-forward, Appendix B);
+* effect summarization over the CFG (may-backward, Appendix B);
+* ``RemappedAfter`` contraction over the CFG (may-backward, Appendix B);
+* reaching-copy recomputation over G_R (may-forward, Appendix C);
+* may-live copies over G_R (may-backward, Appendix D).
+
+All the paper's lattices are finite powersets, so termination is by
+monotonicity; the solver nevertheless guards against non-monotone transfer
+bugs with an iteration bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+State = TypeVar("State")
+
+
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+def solve(
+    nodes: Sequence[int],
+    preds: Callable[[int], Iterable[int]],
+    succs: Callable[[int], Iterable[int]],
+    direction: Direction,
+    boundary: Callable[[int], State],
+    transfer: Callable[[int, State], State],
+    join: Callable[[int, list[State]], State],
+    equal: Callable[[State, State], bool],
+    max_iterations: int = 10_000_000,
+) -> tuple[dict[int, State], dict[int, State]]:
+    """Iterate to fixpoint; returns (in_states, out_states).
+
+    For a backward problem, "in" is the state *after* the node (joined from
+    successors) and "out" the state before it, mirroring the forward case so
+    callers can read both directions uniformly:
+
+    * forward: ``in = join(out[preds])``, ``out = transfer(in)``
+    * backward: ``in = join(out[succs])``, ``out = transfer(in)``
+
+    ``boundary(n)`` seeds every node's initial *out* state (usually bottom;
+    entry/exit nodes get their boundary values through ``transfer`` itself).
+    """
+    import heapq
+
+    flow_in = preds if direction is Direction.FORWARD else succs
+    into: dict[int, State] = {}
+    out: dict[int, State] = {n: boundary(n) for n in nodes}
+
+    order = list(nodes) if direction is Direction.FORWARD else list(reversed(nodes))
+    # priority worklist keyed by position in the given order: keeps transfer
+    # evaluation deterministic and (for forward problems over id-ordered CFGs)
+    # textual, so discovered versions are numbered in program order
+    prio = {n: i for i, n in enumerate(order)}
+    worklist: list[tuple[int, int]] = [(prio[n], n) for n in order]
+    heapq.heapify(worklist)
+    on_list: set[int] = set(order)
+    flow_out = succs if direction is Direction.FORWARD else preds
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError("dataflow failed to converge (non-monotone transfer?)")
+        _, n = heapq.heappop(worklist)
+        on_list.discard(n)
+        incoming = [out[p] for p in flow_in(n)]
+        state_in = join(n, incoming)
+        into[n] = state_in
+        state_out = transfer(n, state_in)
+        if not equal(state_out, out[n]):
+            out[n] = state_out
+            for s in flow_out(n):
+                if s not in on_list:
+                    heapq.heappush(worklist, (prio[s], s))
+                    on_list.add(s)
+    # ensure every node has an in-state even if never popped with preds ready
+    for n in nodes:
+        if n not in into:
+            into[n] = join(n, [out[p] for p in flow_in(n)])
+    return into, out

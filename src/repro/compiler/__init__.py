@@ -1,0 +1,28 @@
+"""Compiler driver: source to executable compiled program.
+
+The pass pipeline mirrors the paper:
+
+1. parse (mini-HPF DSL) or accept a built AST;
+2. loop-invariant remapping motion (Fig. 16/17) -- level 3;
+3. semantic resolution (shapes, initial mappings, interfaces);
+4. CFG construction and remapping-graph construction (Appendix B);
+5. useless remapping removal (Appendix C) -- level >= 1;
+6. dynamic live copies (Appendix D) -- level >= 2;
+7. copy code generation (Fig. 19/20).
+
+Level 0 is the naive baseline: every remapping directive is executed as an
+unconditional copy with no status checks and no kept copies, which is what
+a direct translation without the paper's optimizations would do.
+"""
+
+from repro.compiler.artifacts import CompiledProgram, CompiledSubroutine, CompilerOptions
+from repro.compiler.driver import compile_program
+from repro.compiler.report import compilation_report
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledSubroutine",
+    "CompilerOptions",
+    "compilation_report",
+    "compile_program",
+]

@@ -1,0 +1,89 @@
+"""Compiled-program containers and compiler options."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.semantics import ResolvedProgram, ResolvedSubroutine
+from repro.remap.codegen import GeneratedCode
+from repro.remap.construction import CallInfo, ConstructionResult
+from repro.remap.graph import RemappingGraph, VersionTable
+from repro.remap.motion import MotionReport
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Optimization levels.
+
+    * ``0`` -- naive baseline: every remapping is an unconditional copy;
+    * ``1`` -- + useless remapping removal (Appendix C) and runtime status
+      checks (skip remappings whose target is already current);
+    * ``2`` -- + dynamic live copies (Appendix D): superseded copies worth
+      keeping are kept and reused without communication;
+    * ``3`` -- + loop-invariant remapping motion (Fig. 16/17).  Default.
+    """
+
+    level: int = 3
+
+    @property
+    def naive(self) -> bool:
+        return self.level <= 0
+
+    @property
+    def remove_useless(self) -> bool:
+        return self.level >= 1
+
+    @property
+    def status_checks(self) -> bool:
+        return self.level >= 1
+
+    @property
+    def live_copies(self) -> bool:
+        return self.level >= 2
+
+    @property
+    def motion(self) -> bool:
+        return self.level >= 3
+
+
+@dataclass
+class CompiledSubroutine:
+    """One subroutine after the full pass pipeline."""
+
+    name: str
+    sub: ResolvedSubroutine
+    construction: ConstructionResult
+    code: GeneratedCode
+    motion: MotionReport
+
+    @property
+    def graph(self) -> RemappingGraph:
+        return self.construction.graph
+
+    @property
+    def versions(self) -> VersionTable:
+        return self.construction.versions
+
+    @property
+    def stmt_versions(self) -> dict[int, dict[str, int]]:
+        return self.construction.stmt_versions
+
+    @property
+    def calls(self) -> dict[int, CallInfo]:
+        return self.construction.calls
+
+
+@dataclass
+class CompiledProgram:
+    """All compiled subroutines plus shared metadata."""
+
+    program: ResolvedProgram
+    subroutines: dict[str, CompiledSubroutine]
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+
+    def get(self, name: str) -> CompiledSubroutine:
+        return self.subroutines[name]
+
+    @property
+    def processors(self):
+        return self.program.processors

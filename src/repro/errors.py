@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro package.
+
+The paper (Sec. 2.1) imposes language restrictions whose violations the
+compiler must *report*, not silently mis-compile.  Each restriction gets a
+dedicated exception so tests and users can distinguish them:
+
+* :class:`AmbiguousMappingError` -- a reference to an array whose mapping is
+  control-flow dependent at the reference point (paper Fig. 5).  Note that an
+  ambiguous *state* is legal as long as the array is not referenced in that
+  state (paper Fig. 6); only the reference is an error.
+* :class:`MissingInterfaceError` -- a call to a subroutine with no explicit
+  interface describing dummy-argument mappings (restriction 2).
+* :class:`TranscriptiveMappingError` -- use of ``INHERIT``-style transcriptive
+  dummy mappings (restriction 3), which the paper forbids.
+* :class:`MultipleLeavingMappingsError` -- a remapping statement with more
+  than one possible leaving mapping for an array (paper Fig. 21); the
+  presentation assumes -- and we enforce -- a single leaving mapping.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# front-end errors
+# ---------------------------------------------------------------------------
+
+
+class ParseError(ReproError):
+    """Raised by the mini-HPF parser on malformed source text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}" + (f", col {column}" if column is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class SemanticError(ReproError):
+    """Raised on name-resolution or directive legality violations."""
+
+
+# ---------------------------------------------------------------------------
+# mapping / layout errors
+# ---------------------------------------------------------------------------
+
+
+class MappingError(ReproError):
+    """Raised on ill-formed alignments or distributions."""
+
+
+class ShapeError(MappingError):
+    """Raised when extents of arrays, templates and processors disagree."""
+
+
+# ---------------------------------------------------------------------------
+# language-restriction violations (paper Sec. 2.1)
+# ---------------------------------------------------------------------------
+
+
+class RestrictionError(SemanticError):
+    """Base class for violations of the paper's language restrictions."""
+
+
+class AmbiguousMappingError(RestrictionError):
+    """A referenced array has several possible reaching mappings (Fig. 5)."""
+
+
+class MissingInterfaceError(RestrictionError):
+    """A called subroutine has no explicit interface (restriction 2)."""
+
+
+class TranscriptiveMappingError(RestrictionError):
+    """A dummy argument uses a transcriptive (inherited) mapping (restriction 3)."""
+
+
+class MultipleLeavingMappingsError(RestrictionError):
+    """A remapping statement admits several leaving mappings (Fig. 21)."""
+
+
+# ---------------------------------------------------------------------------
+# runtime errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeRemapError(ReproError):
+    """Base class for errors raised while executing compiled programs."""
+
+
+class AmbiguousReferenceError(RuntimeRemapError):
+    """The runtime caught a reference to an array in ambiguous status."""
+
+
+class DeadCopyError(RuntimeRemapError):
+    """A non-live array version was referenced without re-instantiation."""
+
+
+class OutOfMemoryError(RuntimeRemapError):
+    """The memory manager could not satisfy an allocation even after eviction."""

@@ -1,0 +1,17 @@
+"""Intermediate representation: effects lattice and control-flow graph."""
+
+from repro.ir.effects import Use, intent_call_effect, intent_entry_exit_effects, join, seq, stmt_effect
+from repro.ir.cfg import CFG, CFGNode, NodeKind, build_cfg
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "NodeKind",
+    "Use",
+    "build_cfg",
+    "intent_call_effect",
+    "intent_entry_exit_effects",
+    "join",
+    "seq",
+    "stmt_effect",
+]

@@ -1,0 +1,130 @@
+"""The paper's use-information lattice {N, D, R, W} (Sec. 3.1, Appendix A).
+
+``U_A(v)`` describes how a copy's values may be used from a program point to
+the next remapping of the array:
+
+* ``N`` -- never referenced: the remapping producing the copy is useless;
+* ``D`` -- fully redefined before any use: the copy must exist but its
+  *incoming values* are dead, so the remapping needs no communication;
+* ``R`` -- only read: the copy's values are needed, and sibling copies stay
+  consistent (they may be kept live and reused without communication);
+* ``W`` -- maybe modified: values needed and sibling copies become stale.
+
+Two operations are needed:
+
+* :func:`join` -- merge over alternative control-flow paths ("may" join).
+  The paper orders the qualifiers N -> D -> R -> W and joins with max.
+  ``max(D, R) = R`` would let the live-copy optimization keep a stale copy
+  across a path that fully redefines the array, so -- as documented in
+  DESIGN.md -- we use the sound 4-point lattice with ``D ⊔ R = W``
+  (N bottom, W top, D and R incomparable).  On every example in the paper
+  the two definitions coincide.
+* :func:`seq` -- sequential pre-composition: what the summary becomes when a
+  statement with proper effect ``first`` executes before a region whose
+  summary is ``rest``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+
+class Use(enum.Enum):
+    N = "N"  # never referenced
+    D = "D"  # fully redefined before any use
+    R = "R"  # only read
+    W = "W"  # maybe modified
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_JOIN: dict[tuple[Use, Use], Use] = {}
+for _a in Use:
+    _JOIN[(Use.N, _a)] = _a
+    _JOIN[(_a, Use.N)] = _a
+    _JOIN[(Use.W, _a)] = Use.W
+    _JOIN[(_a, Use.W)] = Use.W
+    _JOIN[(_a, _a)] = _a
+_JOIN[(Use.D, Use.R)] = Use.W
+_JOIN[(Use.R, Use.D)] = Use.W
+
+
+def join(a: Use, b: Use) -> Use:
+    """Path-merge ("may") join: N bottom, W top, D ⊔ R = W."""
+    return _JOIN[(a, b)]
+
+
+def join_all(uses: Iterable[Use]) -> Use:
+    out = Use.N
+    for u in uses:
+        out = join(out, u)
+    return out
+
+
+def seq(first: Use, rest: Use) -> Use:
+    """Summary of ``first`` happening, then a region summarized by ``rest``.
+
+    * nothing first: the rest decides;
+    * full redefinition first: incoming values are dead whatever follows;
+    * read first: values needed; still 'only read' unless something later
+      modifies them (rest in {D, W} counts as a modification);
+    * modification first: W absorbs everything.
+    """
+    if first is Use.N:
+        return rest
+    if first is Use.D:
+        return Use.D
+    if first is Use.W:
+        return Use.W
+    # first is R
+    return Use.R if rest in (Use.N, Use.R) else Use.W
+
+
+def stmt_effect(
+    reads: Iterable[str], writes: Iterable[str], defines: Iterable[str]
+) -> dict[str, Use]:
+    """Proper effect of one compute statement on each named array.
+
+    Within a single statement reads happen before writes; an array both read
+    and written (or read and redefined) is W; pure full definition is D.
+    """
+    out: dict[str, Use] = {}
+    for n in defines:
+        out[n] = Use.D
+    for n in writes:
+        out[n] = Use.W
+    for n in reads:
+        prev = out.get(n, Use.N)
+        out[n] = Use.R if prev is Use.N else Use.W
+    return out
+
+
+# -- intent tables -----------------------------------------------------------
+
+_CALL_EFFECT = {"in": Use.R, "inout": Use.W, "out": Use.D}
+
+_ENTRY_EXIT = {
+    "in": (Use.D, Use.N),
+    "inout": (Use.D, Use.W),
+    "out": (Use.N, Use.W),
+}
+
+
+def intent_call_effect(intent: str) -> Use:
+    """Paper's 'Intent effect' table: proper effect of a call on an argument.
+
+    ``in`` -> R (callee only reads), ``inout`` -> W, ``out`` -> D (fully
+    redefined by the callee).
+    """
+    return _CALL_EFFECT[intent]
+
+
+def intent_entry_exit_effects(intent: str) -> tuple[Use, Use]:
+    """Paper Fig. 22: EffectsOf(v_c) and EffectsOf(v_e) for a dummy argument.
+
+    Imported values are modelled as defined before entry (D at ``v_c``);
+    exported values as used after exit (W at ``v_e``).
+    """
+    return _ENTRY_EXIT[intent]

@@ -1,0 +1,209 @@
+"""Programmatic construction of mini-HPF programs.
+
+The DSL is convenient for figures and tests; applications (ADI, FFT, ...)
+build their programs with this fluent API instead, which avoids string
+templating and keeps shapes/parameters first-class::
+
+    b = SubroutineBuilder("adi", params=("t",))
+    b.array("u", (64, 64)).array("rhs", (64, 64))
+    b.align("rhs", "u")
+    b.dynamic("u", "rhs")
+    b.distribute("u", "block", "*")
+    with b.do("i", 1, "t"):
+        b.redistribute("u", "*", "block")
+        b.compute("sweep_y", reads=("rhs",), writes=("u",))
+        b.redistribute("u", "block", "*")
+        b.compute("sweep_x", reads=("rhs",), writes=("u",))
+    sub = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.lang.ast_nodes import (
+    AlignDecl,
+    AlignSubscript,
+    ArrayDecl,
+    Block,
+    Call,
+    Compute,
+    Decl,
+    DistributeDecl,
+    Do,
+    DynamicDecl,
+    Extent,
+    FormatSpec,
+    If,
+    IntentDecl,
+    Kill,
+    ProcessorsDecl,
+    Program,
+    Realign,
+    Redistribute,
+    ScalarDecl,
+    Stmt,
+    Subroutine,
+    TemplateDecl,
+)
+
+
+def _format_specs(*formats: str | FormatSpec) -> tuple[FormatSpec, ...]:
+    out: list[FormatSpec] = []
+    for f in formats:
+        if isinstance(f, FormatSpec):
+            out.append(f)
+            continue
+        f = f.strip().lower()
+        if f == "*":
+            out.append(FormatSpec("star"))
+        elif f.startswith("block(") and f.endswith(")"):
+            out.append(FormatSpec("block", int(f[6:-1])))
+        elif f.startswith("cyclic(") and f.endswith(")"):
+            out.append(FormatSpec("cyclic", int(f[7:-1])))
+        elif f in ("block", "cyclic"):
+            out.append(FormatSpec(f))
+        else:
+            raise ValueError(f"bad distribution format {f!r}")
+    return tuple(out)
+
+
+def _subscripts(subs) -> tuple[AlignSubscript, ...]:
+    out: list[AlignSubscript] = []
+    for s in subs:
+        if isinstance(s, AlignSubscript):
+            out.append(s)
+        elif s == "*":
+            out.append(AlignSubscript.star())
+        elif isinstance(s, int):
+            out.append(AlignSubscript.of_const(s))
+        else:
+            out.append(AlignSubscript.of_dummy(str(s)))
+    return tuple(out)
+
+
+class SubroutineBuilder:
+    """Fluent builder for one subroutine."""
+
+    def __init__(self, name: str, params: tuple[str, ...] = ()):
+        self.name = name
+        self.params = tuple(params)
+        self._decls: list[Decl] = []
+        self._stack: list[list[Stmt]] = [[]]
+
+    # -- declarations ---------------------------------------------------------
+
+    def scalar(self, *names: str) -> "SubroutineBuilder":
+        self._decls.append(ScalarDecl(tuple(names)))
+        return self
+
+    def array(self, name: str, shape: tuple[Extent, ...]) -> "SubroutineBuilder":
+        self._decls.append(ArrayDecl(name, tuple(shape)))
+        return self
+
+    def intent(self, intent: str, *names: str) -> "SubroutineBuilder":
+        self._decls.append(IntentDecl(intent, tuple(names)))
+        return self
+
+    def processors(self, name: str, shape: tuple[Extent, ...]) -> "SubroutineBuilder":
+        self._decls.append(ProcessorsDecl(name, tuple(shape)))
+        return self
+
+    def template(self, name: str, shape: tuple[Extent, ...]) -> "SubroutineBuilder":
+        self._decls.append(TemplateDecl(name, tuple(shape)))
+        return self
+
+    def align(
+        self,
+        alignee: str,
+        target: str,
+        dummies: tuple[str, ...] = (),
+        subscripts=(),
+    ) -> "SubroutineBuilder":
+        self._decls.append(AlignDecl(alignee, tuple(dummies), target, _subscripts(subscripts)))
+        return self
+
+    def distribute(self, target: str, *formats: str, onto: str = "") -> "SubroutineBuilder":
+        self._decls.append(DistributeDecl(target, _format_specs(*formats), onto))
+        return self
+
+    def dynamic(self, *names: str) -> "SubroutineBuilder":
+        self._decls.append(DynamicDecl(tuple(names)))
+        return self
+
+    # -- statements --------------------------------------------------------------
+
+    def _emit(self, s: Stmt) -> "SubroutineBuilder":
+        self._stack[-1].append(s)
+        return self
+
+    def compute(
+        self,
+        label: str = "",
+        reads: tuple[str, ...] = (),
+        writes: tuple[str, ...] = (),
+        defines: tuple[str, ...] = (),
+    ) -> "SubroutineBuilder":
+        return self._emit(Compute(label, tuple(reads), tuple(writes), tuple(defines)))
+
+    def realign(
+        self, alignee: str, target: str, dummies: tuple[str, ...] = (), subscripts=()
+    ) -> "SubroutineBuilder":
+        return self._emit(
+            Realign(alignee, tuple(dummies), target, _subscripts(subscripts))
+        )
+
+    def redistribute(self, target: str, *formats: str, onto: str = "") -> "SubroutineBuilder":
+        return self._emit(Redistribute(target, _format_specs(*formats), onto))
+
+    def kill(self, *names: str) -> "SubroutineBuilder":
+        return self._emit(Kill(tuple(names)))
+
+    def call(self, callee: str, *args: str) -> "SubroutineBuilder":
+        return self._emit(Call(callee, tuple(args)))
+
+    @contextmanager
+    def branch(self, cond: str):
+        """``with b.branch("c1") as (then, orelse): ...`` -- two sub-builders."""
+        then: list[Stmt] = []
+        orelse: list[Stmt] = []
+        outer = self._stack
+        self._stack = [then]
+        alt = _ElseSwitcher(self, then, orelse)
+        try:
+            yield alt
+        finally:
+            self._stack = outer
+        self._emit(If(cond, Block(tuple(then)), Block(tuple(orelse))))
+
+    @contextmanager
+    def do(self, var: str, lo: Extent, hi: Extent):
+        body: list[Stmt] = []
+        self._stack.append(body)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+        self._emit(Do(var, lo, hi, Block(tuple(body))))
+
+    # -- finish ---------------------------------------------------------------------
+
+    def build(self) -> Subroutine:
+        assert len(self._stack) == 1, "unbalanced builder blocks"
+        return Subroutine(self.name, self.params, tuple(self._decls), Block(tuple(self._stack[0])))
+
+
+class _ElseSwitcher:
+    """Handle yielded by :meth:`SubroutineBuilder.branch`; call .orelse() to switch."""
+
+    def __init__(self, b: SubroutineBuilder, then: list[Stmt], orelse: list[Stmt]):
+        self._b = b
+        self._then = then
+        self._orelse = orelse
+
+    def orelse(self) -> None:
+        self._b._stack = [self._orelse]
+
+
+def program(*subs: Subroutine | SubroutineBuilder) -> Program:
+    return Program(tuple(s.build() if isinstance(s, SubroutineBuilder) else s for s in subs))

@@ -1,0 +1,459 @@
+"""Recursive-descent parser for the mini-HPF DSL.
+
+The grammar is line-oriented like Fortran.  A representative program (the
+paper's Figure 10, transliterated)::
+
+    subroutine remap(m)
+      integer m, n
+      real A(n,n), B(n,n), C(n,n)
+      intent inout A
+    !hpf$ align with A :: B, C
+    !hpf$ dynamic A, B, C
+    !hpf$ distribute A(block, *)
+      compute "init" writes B reads A
+      if c1 then
+    !hpf$   redistribute A(cyclic, *)
+        compute writes A, p reads A, B
+      else
+    !hpf$   redistribute A(block, block)
+        compute writes p reads A
+      endif
+      do i = 1, m
+    !hpf$   redistribute A(*, block)
+        compute writes C reads A
+    !hpf$   redistribute A(block, *)
+        compute writes A reads A, C
+      enddo
+    end
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    AlignDecl,
+    AlignSubscript,
+    ArrayDecl,
+    Block,
+    Call,
+    Compute,
+    Decl,
+    DistributeDecl,
+    Do,
+    DynamicDecl,
+    Extent,
+    FormatSpec,
+    If,
+    IntentDecl,
+    Kill,
+    ProcessorsDecl,
+    Program,
+    Realign,
+    Redistribute,
+    ScalarDecl,
+    Stmt,
+    Subroutine,
+    TemplateDecl,
+)
+from repro.lang.tokens import EOF, HPF, INT, NAME, NEWLINE, PUNCT, STRING, Token, tokenize
+
+_INTENTS = {"in", "out", "inout"}
+_DECL_KEYWORDS = {"real", "integer", "intent"}
+_DIRECTIVE_DECLS = {"processors", "template", "align", "distribute", "dynamic"}
+_DIRECTIVE_STMTS = {"realign", "redistribute", "kill"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (value is None or t.value == value)
+
+    def at_name(self, *values: str) -> bool:
+        return self.cur.kind == NAME and self.cur.value in values
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != EOF:
+            self.pos += 1
+        return t
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.at(kind, value):
+            want = value or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.value!r}", self.cur.line, self.cur.column
+            )
+        return self.advance()
+
+    def expect_name(self, value: str | None = None) -> str:
+        return self.expect(NAME, value).value
+
+    def eat_newlines(self) -> None:
+        while self.at(NEWLINE):
+            self.advance()
+
+    def end_of_line(self) -> None:
+        if self.at(EOF):
+            return
+        self.expect(NEWLINE)
+        self.eat_newlines()
+
+    # -- small common pieces ---------------------------------------------------
+
+    def parse_extent(self) -> Extent:
+        if self.at(INT):
+            return int(self.advance().value)
+        if self.at(NAME):
+            return self.advance().value
+        raise ParseError(
+            f"expected extent, found {self.cur.value!r}", self.cur.line, self.cur.column
+        )
+
+    def parse_extent_list(self) -> tuple[Extent, ...]:
+        self.expect(PUNCT, "(")
+        out = [self.parse_extent()]
+        while self.at(PUNCT, ","):
+            self.advance()
+            out.append(self.parse_extent())
+        self.expect(PUNCT, ")")
+        return tuple(out)
+
+    def parse_name_list(self) -> tuple[str, ...]:
+        out = [self.expect_name()]
+        while self.at(PUNCT, ","):
+            self.advance()
+            out.append(self.expect_name())
+        return tuple(out)
+
+    # -- alignment subscripts ----------------------------------------------------
+
+    def parse_subscript(self) -> AlignSubscript:
+        if self.at(PUNCT, "*") :
+            # lone '*' is replication; 'k*i' starts with INT so cannot reach here
+            self.advance()
+            return AlignSubscript.star()
+        sign = 1
+        if self.at(PUNCT, "-"):
+            self.advance()
+            sign = -1
+        if self.at(INT):
+            value = sign * int(self.advance().value)
+            if self.at(PUNCT, "*"):  # stride * dummy
+                self.advance()
+                dummy = self.expect_name()
+                offset = self._parse_trailing_offset()
+                return AlignSubscript.of_dummy(dummy, stride=value, offset=offset)
+            return AlignSubscript.of_const(value)
+        dummy = self.expect_name()
+        offset = self._parse_trailing_offset()
+        return AlignSubscript.of_dummy(dummy, stride=sign, offset=offset)
+
+    def _parse_trailing_offset(self) -> int:
+        if self.at(PUNCT, "+"):
+            self.advance()
+            return int(self.expect(INT).value)
+        if self.at(PUNCT, "-"):
+            self.advance()
+            return -int(self.expect(INT).value)
+        return 0
+
+    def parse_subscript_list(self) -> tuple[AlignSubscript, ...]:
+        self.expect(PUNCT, "(")
+        out = [self.parse_subscript()]
+        while self.at(PUNCT, ","):
+            self.advance()
+            out.append(self.parse_subscript())
+        self.expect(PUNCT, ")")
+        return tuple(out)
+
+    # -- distribution formats -------------------------------------------------------
+
+    def parse_format(self) -> FormatSpec:
+        if self.at(PUNCT, "*"):
+            self.advance()
+            return FormatSpec("star")
+        kw = self.expect_name()
+        if kw not in ("block", "cyclic"):
+            raise ParseError(
+                f"expected distribution format, found {kw!r}", self.cur.line, self.cur.column
+            )
+        arg = None
+        if self.at(PUNCT, "("):
+            self.advance()
+            arg = int(self.expect(INT).value)
+            self.expect(PUNCT, ")")
+        return FormatSpec(kw, arg)
+
+    def parse_format_list(self) -> tuple[FormatSpec, ...]:
+        self.expect(PUNCT, "(")
+        out = [self.parse_format()]
+        while self.at(PUNCT, ","):
+            self.advance()
+            out.append(self.parse_format())
+        self.expect(PUNCT, ")")
+        return tuple(out)
+
+    # -- directives ------------------------------------------------------------------
+
+    def parse_align_like(self) -> list[tuple[str, tuple[str, ...], str, tuple[AlignSubscript, ...]]]:
+        """Parse the body of ``align``/``realign``.
+
+        Forms::
+
+            A(i, j) with T(j, i)
+            A with B
+            with T :: A, B, C          (identity shorthand, paper Fig. 3)
+            (i,j) with T(j,i) :: A, B
+
+        Returns a list of (alignee, dummies, target, subscripts).
+        """
+        dummies: tuple[str, ...] = ()
+        alignee = ""
+        if self.at_name("with"):
+            pass  # shorthand with no alignee / dummies
+        elif self.at(PUNCT, "("):
+            self.expect(PUNCT, "(")
+            names = [self.expect_name()]
+            while self.at(PUNCT, ","):
+                self.advance()
+                names.append(self.expect_name())
+            self.expect(PUNCT, ")")
+            dummies = tuple(names)
+        else:
+            alignee = self.expect_name()
+            if self.at(PUNCT, "("):
+                self.expect(PUNCT, "(")
+                names = [self.expect_name()]
+                while self.at(PUNCT, ","):
+                    self.advance()
+                    names.append(self.expect_name())
+                self.expect(PUNCT, ")")
+                dummies = tuple(names)
+        self.expect_name("with")
+        target = self.expect_name()
+        subscripts: tuple[AlignSubscript, ...] = ()
+        if self.at(PUNCT, "("):
+            subscripts = self.parse_subscript_list()
+        if self.at(PUNCT, ":"):
+            self.expect(PUNCT, ":")
+            self.expect(PUNCT, ":")
+            if alignee:
+                raise ParseError(
+                    "'::' list cannot follow a named alignee", self.cur.line, self.cur.column
+                )
+            alignees = self.parse_name_list()
+            return [(a, dummies, target, subscripts) for a in alignees]
+        if not alignee:
+            raise ParseError("missing alignee", self.cur.line, self.cur.column)
+        return [(alignee, dummies, target, subscripts)]
+
+    def parse_directive_decl(self) -> list[Decl]:
+        kw = self.expect_name()
+        if kw == "processors":
+            name = self.expect_name()
+            return [ProcessorsDecl(name, self.parse_extent_list())]
+        if kw == "template":
+            name = self.expect_name()
+            return [TemplateDecl(name, self.parse_extent_list())]
+        if kw == "align":
+            return [AlignDecl(*spec) for spec in self.parse_align_like()]
+        if kw == "distribute":
+            name = self.expect_name()
+            formats = self.parse_format_list()
+            onto = ""
+            if self.at_name("onto"):
+                self.advance()
+                onto = self.expect_name()
+            return [DistributeDecl(name, formats, onto)]
+        if kw == "dynamic":
+            return [DynamicDecl(self.parse_name_list())]
+        raise ParseError(f"unknown directive {kw!r}", self.cur.line, self.cur.column)
+
+    def parse_directive_stmt(self) -> list[Stmt]:
+        kw = self.expect_name()
+        if kw == "realign":
+            return [Realign(*spec) for spec in self.parse_align_like()]
+        if kw == "redistribute":
+            name = self.expect_name()
+            formats = self.parse_format_list()
+            onto = ""
+            if self.at_name("onto"):
+                self.advance()
+                onto = self.expect_name()
+            return [Redistribute(name, formats, onto)]
+        if kw == "kill":
+            return [Kill(self.parse_name_list())]
+        raise ParseError(f"unknown directive statement {kw!r}", self.cur.line, self.cur.column)
+
+    # -- declarations ---------------------------------------------------------------------
+
+    def parse_decl_line(self) -> list[Decl]:
+        if self.at(HPF):
+            self.advance()
+            decls = self.parse_directive_decl()
+            self.end_of_line()
+            return decls
+        kw = self.expect_name()
+        if kw == "real":
+            decls2: list[Decl] = []
+            while True:
+                name = self.expect_name()
+                extents: tuple[Extent, ...] = ()
+                if self.at(PUNCT, "("):
+                    extents = self.parse_extent_list()
+                decls2.append(ArrayDecl(name, extents))
+                if not self.at(PUNCT, ","):
+                    break
+                self.advance()
+            self.end_of_line()
+            return decls2
+        if kw == "integer":
+            names = self.parse_name_list()
+            self.end_of_line()
+            return [ScalarDecl(names)]
+        if kw == "intent":
+            if self.at(PUNCT, "("):
+                self.advance()
+                intent = self.expect_name()
+                self.expect(PUNCT, ")")
+            else:
+                intent = self.expect_name()
+            if intent not in _INTENTS:
+                raise ParseError(f"bad intent {intent!r}", self.cur.line, self.cur.column)
+            if self.at(PUNCT, ":"):
+                self.expect(PUNCT, ":")
+                self.expect(PUNCT, ":")
+            names = self.parse_name_list()
+            self.end_of_line()
+            return [IntentDecl(intent, names)]
+        raise ParseError(f"unknown declaration {kw!r}", self.cur.line, self.cur.column)
+
+    # -- statements ------------------------------------------------------------------------
+
+    def at_decl_line(self) -> bool:
+        if self.at(HPF):
+            nxt = self.tokens[self.pos + 1]
+            return nxt.kind == NAME and nxt.value in _DIRECTIVE_DECLS
+        return self.cur.kind == NAME and self.cur.value in _DECL_KEYWORDS
+
+    def parse_stmt(self) -> list[Stmt]:
+        if self.at(HPF):
+            self.advance()
+            stmts = self.parse_directive_stmt()
+            self.end_of_line()
+            return stmts
+        kw = self.expect_name()
+        if kw == "compute":
+            label = ""
+            if self.at(STRING):
+                label = self.advance().value
+            reads: tuple[str, ...] = ()
+            writes: tuple[str, ...] = ()
+            defines: tuple[str, ...] = ()
+            while self.at_name("reads", "writes", "defines"):
+                clause = self.advance().value
+                names = self.parse_name_list()
+                if clause == "reads":
+                    reads += names
+                elif clause == "writes":
+                    writes += names
+                else:
+                    defines += names
+            self.end_of_line()
+            return [Compute(label, reads, writes, defines)]
+        if kw == "call":
+            callee = self.expect_name()
+            args: tuple[str, ...] = ()
+            self.expect(PUNCT, "(")
+            if not self.at(PUNCT, ")"):
+                args = self.parse_name_list()
+            self.expect(PUNCT, ")")
+            self.end_of_line()
+            return [Call(callee, args)]
+        if kw == "if":
+            cond = self.expect_name()
+            self.expect_name("then")
+            self.end_of_line()
+            then = self.parse_block(stop={"else", "endif"})
+            orelse = Block()
+            if self.at_name("else"):
+                self.advance()
+                self.end_of_line()
+                orelse = self.parse_block(stop={"endif"})
+            self.expect_name("endif")
+            self.end_of_line()
+            return [If(cond, then, orelse)]
+        if kw == "do":
+            var = self.expect_name()
+            self.expect(PUNCT, "=")
+            lo = self.parse_extent()
+            self.expect(PUNCT, ",")
+            hi = self.parse_extent()
+            self.end_of_line()
+            body = self.parse_block(stop={"enddo"})
+            self.expect_name("enddo")
+            self.end_of_line()
+            return [Do(var, lo, hi, body)]
+        raise ParseError(f"unknown statement {kw!r}", self.cur.line, self.cur.column)
+
+    def parse_block(self, stop: set[str]) -> Block:
+        stmts: list[Stmt] = []
+        self.eat_newlines()
+        while not self.at(EOF) and not (self.cur.kind == NAME and self.cur.value in stop):
+            stmts.extend(self.parse_stmt())
+        return Block(tuple(stmts))
+
+    # -- subroutines / program ------------------------------------------------------------------
+
+    def parse_subroutine(self) -> Subroutine:
+        self.eat_newlines()
+        self.expect_name("subroutine")
+        name = self.expect_name()
+        params: tuple[str, ...] = ()
+        if self.at(PUNCT, "("):
+            self.advance()
+            if not self.at(PUNCT, ")"):
+                params = self.parse_name_list()
+            self.expect(PUNCT, ")")
+        self.end_of_line()
+        decls: list[Decl] = []
+        while self.at_decl_line():
+            decls.extend(self.parse_decl_line())
+        body = self.parse_block(stop={"end"})
+        self.expect_name("end")
+        if self.at_name("subroutine"):
+            self.advance()
+            if self.at(NAME):
+                self.advance()
+        self.end_of_line()
+        return Subroutine(name, params, tuple(decls), body)
+
+    def parse_program(self) -> Program:
+        subs: list[Subroutine] = []
+        self.eat_newlines()
+        while not self.at(EOF):
+            subs.append(self.parse_subroutine())
+            self.eat_newlines()
+        if not subs:
+            raise ParseError("empty program", 1, 1)
+        return Program(tuple(subs))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full program (one or more subroutines)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_subroutine(text: str) -> Subroutine:
+    """Parse a single subroutine."""
+    return _Parser(tokenize(text)).parse_subroutine()

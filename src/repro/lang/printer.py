@@ -1,0 +1,152 @@
+"""Unparser: AST back to DSL text.
+
+``parse(print(ast))`` reproduces the AST structurally; this round-trip is
+property-tested and keeps the surface syntax honest.  The printer is also
+what compilation reports use to show rewritten programs.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    AlignDecl,
+    AlignSubscript,
+    ArrayDecl,
+    Block,
+    Call,
+    Compute,
+    Decl,
+    DistributeDecl,
+    Do,
+    DynamicDecl,
+    FormatSpec,
+    If,
+    IntentDecl,
+    Kill,
+    ProcessorsDecl,
+    Program,
+    Realign,
+    Redistribute,
+    ScalarDecl,
+    Stmt,
+    Subroutine,
+    TemplateDecl,
+)
+
+
+def _extents(extents) -> str:
+    return "(" + ", ".join(str(e) for e in extents) + ")" if extents else ""
+
+
+def _subscript(s: AlignSubscript) -> str:
+    if s.kind == "star":
+        return "*"
+    if s.kind == "const":
+        return str(s.offset)
+    out = s.dummy if s.stride == 1 else f"{s.stride}*{s.dummy}"
+    if s.offset > 0:
+        out += f"+{s.offset}"
+    elif s.offset < 0:
+        out += str(s.offset)
+    return out
+
+
+def _fmt(f: FormatSpec) -> str:
+    if f.kind == "star":
+        return "*"
+    return f"{f.kind}({f.arg})" if f.arg is not None else f.kind
+
+
+def _align_body(alignee: str, dummies, target: str, subscripts) -> str:
+    head = alignee
+    if dummies:
+        head += "(" + ", ".join(dummies) + ")"
+    out = f"{head} with {target}"
+    if subscripts:
+        out += "(" + ", ".join(_subscript(s) for s in subscripts) + ")"
+    return out
+
+
+def print_decl(d: Decl) -> str:
+    if isinstance(d, ArrayDecl):
+        return f"  real {d.name}{_extents(d.extents)}"
+    if isinstance(d, ScalarDecl):
+        return "  integer " + ", ".join(d.names)
+    if isinstance(d, IntentDecl):
+        return f"  intent {d.intent} " + ", ".join(d.names)
+    if isinstance(d, ProcessorsDecl):
+        return f"!hpf$ processors {d.name}{_extents(d.extents)}"
+    if isinstance(d, TemplateDecl):
+        return f"!hpf$ template {d.name}{_extents(d.extents)}"
+    if isinstance(d, AlignDecl):
+        return "!hpf$ align " + _align_body(d.alignee, d.dummies, d.target, d.subscripts)
+    if isinstance(d, DistributeDecl):
+        out = f"!hpf$ distribute {d.target}(" + ", ".join(_fmt(f) for f in d.formats) + ")"
+        if d.onto:
+            out += f" onto {d.onto}"
+        return out
+    if isinstance(d, DynamicDecl):
+        return "!hpf$ dynamic " + ", ".join(d.names)
+    raise TypeError(f"unknown decl {d!r}")
+
+
+def print_stmt(s: Stmt, indent: int = 1) -> list[str]:
+    pad = "  " * indent
+    if isinstance(s, Compute):
+        out = pad + "compute"
+        if s.label:
+            out += f' "{s.label}"'
+        if s.reads:
+            out += " reads " + ", ".join(s.reads)
+        if s.writes:
+            out += " writes " + ", ".join(s.writes)
+        if s.defines:
+            out += " defines " + ", ".join(s.defines)
+        return [out]
+    if isinstance(s, Realign):
+        return ["!hpf$ realign " + _align_body(s.alignee, s.dummies, s.target, s.subscripts)]
+    if isinstance(s, Redistribute):
+        out = f"!hpf$ redistribute {s.target}(" + ", ".join(_fmt(f) for f in s.formats) + ")"
+        if s.onto:
+            out += f" onto {s.onto}"
+        return [out]
+    if isinstance(s, Kill):
+        return ["!hpf$ kill " + ", ".join(s.names)]
+    if isinstance(s, Call):
+        return [pad + f"call {s.callee}(" + ", ".join(s.args) + ")"]
+    if isinstance(s, If):
+        lines = [pad + f"if {s.cond} then"]
+        for st in s.then.stmts:
+            lines.extend(print_stmt(st, indent + 1))
+        if s.orelse.stmts:
+            lines.append(pad + "else")
+            for st in s.orelse.stmts:
+                lines.extend(print_stmt(st, indent + 1))
+        lines.append(pad + "endif")
+        return lines
+    if isinstance(s, Do):
+        lines = [pad + f"do {s.var} = {s.lo}, {s.hi}"]
+        for st in s.body.stmts:
+            lines.extend(print_stmt(st, indent + 1))
+        lines.append(pad + "enddo")
+        return lines
+    raise TypeError(f"unknown statement {s!r}")
+
+
+def print_block(b: Block, indent: int = 1) -> list[str]:
+    lines: list[str] = []
+    for s in b.stmts:
+        lines.extend(print_stmt(s, indent))
+    return lines
+
+
+def print_subroutine(sub: Subroutine) -> str:
+    lines = [f"subroutine {sub.name}(" + ", ".join(sub.params) + ")"]
+    for d in sub.decls:
+        lines.append(print_decl(d))
+    lines.extend(print_block(sub.body))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_program(p: Program) -> str:
+    return "\n\n".join(print_subroutine(s) for s in p.subroutines) + "\n"

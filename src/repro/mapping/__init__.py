@@ -1,0 +1,38 @@
+"""HPF two-level mapping substrate.
+
+High Performance Fortran maps arrays to processors in two stages:
+
+1. ``ALIGN`` each array to a *template* (an abstract index space) through an
+   affine per-dimension relation (permutation, stride, offset, collapse of an
+   array dimension, replication over a template dimension);
+2. ``DISTRIBUTE`` the template onto a *processor arrangement* with one format
+   per template dimension: ``BLOCK``, ``BLOCK(k)``, ``CYCLIC``, ``CYCLIC(k)``
+   or ``*`` (dimension not distributed).
+
+The paper's whole point is that *both* stages can change at run time
+(``REALIGN`` / ``REDISTRIBUTE``), and that a compiler can still recover
+static knowledge by versioning arrays per mapping.  This subpackage is the
+static side: mapping objects, their normalization to per-dimension
+block-cyclic maps, and exact ownership computation.
+"""
+
+from repro.mapping.align import AlignTarget, Alignment, AxisAlign
+from repro.mapping.distribute import DistFormat, DistKind, Distribution
+from repro.mapping.mapping import DimMap, Mapping
+from repro.mapping.ownership import Layout
+from repro.mapping.processors import ProcessorArrangement
+from repro.mapping.template import Template
+
+__all__ = [
+    "AlignTarget",
+    "Alignment",
+    "AxisAlign",
+    "DimMap",
+    "DistFormat",
+    "DistKind",
+    "Distribution",
+    "Layout",
+    "Mapping",
+    "ProcessorArrangement",
+    "Template",
+]

@@ -1,0 +1,195 @@
+"""Alignment algebra (HPF ``ALIGN`` directive).
+
+An alignment relates array indices to template cells.  Following HPF, each
+*template* dimension holds one of:
+
+* an array dimension through an affine map ``t = stride*i + offset``
+  (:attr:`AxisKind.ARRAY_DIM`),
+* a constant cell (:attr:`AxisKind.CONST`), e.g. ``ALIGN A(i) WITH T(i, 3)``,
+* ``*`` -- replication: the array is copied across every cell of that
+  template dimension (:attr:`AxisKind.REPLICATE`).
+
+Array dimensions not named by any template dimension are *collapsed*: they
+remain entirely local whatever the distribution.
+
+``ALIGN A WITH B`` (align to another array) is resolved at declaration time
+by composing A's relation to B with B's current relation to its template
+(:meth:`Alignment.compose`).  Per HPF semantics the composition is captured
+once; subsequently realigning ``B`` does *not* drag ``A`` along, whereas
+redistributing B's template remaps every array ultimately aligned to it --
+this is exactly the behaviour of paper Figures 1 and 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MappingError, ShapeError
+from repro.mapping.template import Template
+
+
+class AxisKind(enum.Enum):
+    ARRAY_DIM = "array_dim"
+    CONST = "const"
+    REPLICATE = "replicate"
+
+
+@dataclass(frozen=True)
+class AxisAlign:
+    """What one template dimension holds.
+
+    ``kind == ARRAY_DIM``: template index is ``stride * i(axis) + offset``.
+    ``kind == CONST``: template index is the constant ``offset``.
+    ``kind == REPLICATE``: the array occupies every index of this dimension.
+    """
+
+    kind: AxisKind
+    axis: int = -1  # array dimension number for ARRAY_DIM
+    stride: int = 1
+    offset: int = 0
+
+    @classmethod
+    def dim(cls, axis: int, stride: int = 1, offset: int = 0) -> "AxisAlign":
+        if stride == 0:
+            raise MappingError("alignment stride must be non-zero")
+        return cls(AxisKind.ARRAY_DIM, axis=axis, stride=stride, offset=offset)
+
+    @classmethod
+    def const(cls, value: int) -> "AxisAlign":
+        return cls(AxisKind.CONST, offset=value)
+
+    @classmethod
+    def replicate(cls) -> "AxisAlign":
+        return cls(AxisKind.REPLICATE)
+
+    def template_index(self, array_index: tuple[int, ...]) -> int | None:
+        """Template index for this dimension, or ``None`` for REPLICATE."""
+        if self.kind is AxisKind.ARRAY_DIM:
+            return self.stride * array_index[self.axis] + self.offset
+        if self.kind is AxisKind.CONST:
+            return self.offset
+        return None
+
+    def __str__(self) -> str:
+        if self.kind is AxisKind.REPLICATE:
+            return "*"
+        if self.kind is AxisKind.CONST:
+            return str(self.offset)
+        term = f"i{self.axis}"
+        if self.stride != 1:
+            term = f"{self.stride}*{term}"
+        if self.offset:
+            term += f"+{self.offset}" if self.offset > 0 else str(self.offset)
+        return term
+
+
+# ``ALIGN A WITH target`` where the target may be a template or another array;
+# the front end resolves array targets into composed template alignments.
+AlignTarget = Template
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A complete alignment of an array onto a template."""
+
+    array_shape: tuple[int, ...]
+    template: Template
+    axes: tuple[AxisAlign, ...]  # one per template dimension
+
+    def __post_init__(self) -> None:
+        if len(self.axes) != self.template.rank:
+            raise ShapeError(
+                f"alignment to {self.template.name} needs {self.template.rank} axis "
+                f"specs, got {len(self.axes)}"
+            )
+        seen: set[int] = set()
+        for d, ax in enumerate(self.axes):
+            if ax.kind is AxisKind.ARRAY_DIM:
+                if not 0 <= ax.axis < len(self.array_shape):
+                    raise ShapeError(f"alignment axis {ax.axis} out of array rank")
+                if ax.axis in seen:
+                    raise MappingError(f"array dimension {ax.axis} aligned twice")
+                seen.add(ax.axis)
+                # check the affine image stays within the template extent
+                n = self.array_shape[ax.axis]
+                for i in (0, n - 1):
+                    t = ax.stride * i + ax.offset
+                    if not 0 <= t < self.template.shape[d]:
+                        raise ShapeError(
+                            f"alignment image {t} of index {i} exceeds template "
+                            f"{self.template.name} dim {d} extent {self.template.shape[d]}"
+                        )
+            elif ax.kind is AxisKind.CONST:
+                if not 0 <= ax.offset < self.template.shape[d]:
+                    raise ShapeError(
+                        f"constant alignment {ax.offset} exceeds template dim {d}"
+                    )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, array_shape: tuple[int, ...], template: Template) -> "Alignment":
+        if len(array_shape) != template.rank:
+            raise ShapeError(
+                f"identity alignment needs array rank {template.rank}, got {len(array_shape)}"
+            )
+        return cls(array_shape, template, tuple(AxisAlign.dim(a) for a in range(template.rank)))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def aligned_dims(self) -> dict[int, int]:
+        """Map array dimension -> template dimension holding it."""
+        return {
+            ax.axis: d for d, ax in enumerate(self.axes) if ax.kind is AxisKind.ARRAY_DIM
+        }
+
+    @property
+    def collapsed_dims(self) -> tuple[int, ...]:
+        """Array dimensions absent from the template (always local)."""
+        used = set(self.aligned_dims)
+        return tuple(a for a in range(len(self.array_shape)) if a not in used)
+
+    def template_cells(self, array_index: tuple[int, ...]) -> list[int | None]:
+        """Per-template-dim cell for an array element (None = replicated)."""
+        return [ax.template_index(array_index) for ax in self.axes]
+
+    # -- composition -------------------------------------------------------
+
+    def compose(self, inner_shape: tuple[int, ...], inner_axes: tuple[AxisAlign, ...]) -> "Alignment":
+        """Alignment of a new array described *relative to this one's array*.
+
+        ``inner_axes`` has one entry per dimension of *this* alignment's
+        array (the target of the new ``ALIGN``), telling how the new array's
+        dimensions map onto the target's dimensions.  The result aligns the
+        new array directly onto this alignment's template.
+        """
+        if len(inner_axes) != len(self.array_shape):
+            raise ShapeError(
+                f"composition needs {len(self.array_shape)} axis specs, got {len(inner_axes)}"
+            )
+        out: list[AxisAlign] = []
+        for ax in self.axes:  # per template dimension
+            if ax.kind is not AxisKind.ARRAY_DIM:
+                out.append(ax)
+                continue
+            inner = inner_axes[ax.axis]
+            if inner.kind is AxisKind.ARRAY_DIM:
+                # t = s_outer * (s_inner * i + o_inner) + o_outer
+                out.append(
+                    AxisAlign.dim(
+                        inner.axis,
+                        stride=ax.stride * inner.stride,
+                        offset=ax.stride * inner.offset + ax.offset,
+                    )
+                )
+            elif inner.kind is AxisKind.CONST:
+                out.append(AxisAlign.const(ax.stride * inner.offset + ax.offset))
+            else:  # replicate across the target's dimension -> across template dim
+                out.append(AxisAlign.replicate())
+        return Alignment(inner_shape, self.template, tuple(out))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(ax) for ax in self.axes)
+        return f"ALIGN WITH {self.template.name}({body})"

@@ -1,0 +1,221 @@
+"""Complete two-level mappings and their canonical normal form.
+
+A :class:`Mapping` pairs an :class:`~repro.mapping.align.Alignment` with a
+:class:`~repro.mapping.distribute.Distribution` of the same template.  The
+compiler reasons about *mapping identity* constantly -- an array version is
+"a copy of A per distinct mapping" -- so mappings normalize to a canonical
+:class:`DimMap` form per array dimension plus grid constraints, and two
+mappings compare equal iff their normal forms do.
+
+The normal form of each array dimension is either *local* (collapsed by the
+alignment, or aligned to a ``*``-distributed template dimension) or a
+block-cyclic map ``i -> grid coordinate of (stride*i + offset)`` on one
+processor-grid dimension.  Replicated and constant-aligned template
+dimensions become grid *constraints*: replication stores the array on every
+coordinate of a grid dimension; a constant pins it to a single coordinate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ShapeError
+from repro.mapping.align import Alignment, AxisKind
+from repro.mapping.distribute import DistFormat, DistKind, Distribution, owner_coord
+from repro.mapping.processors import ProcessorArrangement
+from repro.mapping.template import Template
+
+
+class GridConstraintKind(enum.Enum):
+    REPLICATED = "replicated"  # array present on every coordinate of the grid dim
+    PINNED = "pinned"  # array present only on one coordinate
+
+
+@dataclass(frozen=True)
+class GridConstraint:
+    proc_dim: int
+    kind: GridConstraintKind
+    coord: int = -1  # meaningful for PINNED
+
+
+@dataclass(frozen=True)
+class DimMap:
+    """Normalized map of one array dimension.
+
+    ``proc_dim is None`` means the dimension is local (undistributed).
+    Otherwise global index ``i`` lives at grid coordinate
+    ``owner(stride*i + offset)`` of ``proc_dim`` under ``kind``/``block``.
+    """
+
+    extent: int
+    proc_dim: int | None = None
+    kind: DistKind = DistKind.STAR
+    block: int = 0
+    nprocs: int = 1
+    stride: int = 1
+    offset: int = 0
+    template_extent: int = 0
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.proc_dim is not None
+
+    def owner_coordinate(self, i: int) -> int | None:
+        """Grid coordinate along ``proc_dim`` owning index ``i`` (None if local)."""
+        if self.proc_dim is None:
+            return None
+        t = self.stride * i + self.offset
+        return owner_coord(self.kind, self.block, self.nprocs, t)
+
+    def __str__(self) -> str:
+        if self.proc_dim is None:
+            return f"*[{self.extent}]"
+        aff = "" if (self.stride, self.offset) == (1, 0) else f"@{self.stride}i+{self.offset}"
+        return f"{self.kind.value}({self.block})->p{self.proc_dim}{aff}[{self.extent}]"
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """An alignment plus a distribution of the aligned template."""
+
+    alignment: Alignment
+    distribution: Distribution
+
+    def __post_init__(self) -> None:
+        if self.alignment.template != self.distribution.template:
+            raise ShapeError(
+                f"alignment targets template {self.alignment.template.name} but "
+                f"distribution maps {self.distribution.template.name}"
+            )
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def simple(
+        cls,
+        shape: tuple[int, ...],
+        formats: tuple[DistFormat, ...],
+        processors: ProcessorArrangement,
+        name: str = "A",
+    ) -> "Mapping":
+        """Identity-aligned mapping, as produced by ``DISTRIBUTE A(...)``."""
+        template = Template.implicit_for(name, shape)
+        return cls(
+            Alignment.identity(shape, template),
+            Distribution(template, formats, processors),
+        )
+
+    @classmethod
+    def replicated(
+        cls, shape: tuple[int, ...], processors: ProcessorArrangement, name: str = "A"
+    ) -> "Mapping":
+        """Fully replicated mapping: every processor holds the whole array.
+
+        This is HPF's behaviour for arrays with no mapping directives, modelled
+        as an alignment whose axes all replicate over a grid-shaped template.
+        """
+        from repro.mapping.align import AxisAlign  # local import to avoid cycle
+
+        template = Template(f"$R_{name}", processors.shape)
+        axes = tuple(AxisAlign.replicate() for _ in processors.shape)
+        fmts = tuple(DistFormat.block() for _ in processors.shape)
+        return cls(
+            Alignment(shape, template, axes),
+            Distribution(template, fmts, processors),
+        )
+
+    # -- normalization -------------------------------------------------------
+
+    @cached_property
+    def dim_maps(self) -> tuple[DimMap, ...]:
+        """Per-array-dimension normalized maps."""
+        al, di = self.alignment, self.distribution
+        out: list[DimMap] = []
+        dim_of = al.aligned_dims  # array dim -> template dim
+        for a, extent in enumerate(al.array_shape):
+            d = dim_of.get(a)
+            if d is None:  # collapsed dimension: always local
+                out.append(DimMap(extent=extent))
+                continue
+            kind, block, proc_dim, nprocs = di.resolved(d)
+            if proc_dim is None:  # '*' distributed template dim: local
+                out.append(DimMap(extent=extent))
+                continue
+            ax = al.axes[d]
+            out.append(
+                DimMap(
+                    extent=extent,
+                    proc_dim=proc_dim,
+                    kind=kind,
+                    block=block,
+                    nprocs=nprocs,
+                    stride=ax.stride,
+                    offset=ax.offset,
+                    template_extent=di.template.shape[d],
+                )
+            )
+        return tuple(out)
+
+    @cached_property
+    def grid_constraints(self) -> tuple[GridConstraint, ...]:
+        """Constraints from replicated / constant-aligned distributed dims."""
+        al, di = self.alignment, self.distribution
+        out: list[GridConstraint] = []
+        for d, ax in enumerate(al.axes):
+            kind, block, proc_dim, nprocs = di.resolved(d)
+            if proc_dim is None:
+                continue
+            if ax.kind is AxisKind.REPLICATE:
+                out.append(GridConstraint(proc_dim, GridConstraintKind.REPLICATED))
+            elif ax.kind is AxisKind.CONST:
+                out.append(
+                    GridConstraint(
+                        proc_dim,
+                        GridConstraintKind.PINNED,
+                        owner_coord(kind, block, nprocs, ax.offset),
+                    )
+                )
+        return tuple(out)
+
+    @cached_property
+    def signature(self) -> tuple:
+        """Canonical hashable identity: equal signatures <=> same layout."""
+        dims = tuple(
+            (
+                m.extent,
+                m.proc_dim,
+                m.kind.value if m.is_distributed else "*",
+                m.block,
+                m.nprocs,
+                m.stride,
+                m.offset,
+            )
+            for m in self.dim_maps
+        )
+        cons = tuple(
+            sorted((c.proc_dim, c.kind.value, c.coord) for c in self.grid_constraints)
+        )
+        return (self.distribution.processors.shape, dims, cons)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.alignment.array_shape
+
+    @property
+    def processors(self) -> ProcessorArrangement:
+        return self.distribution.processors
+
+    def same_layout(self, other: "Mapping") -> bool:
+        """True iff both mappings place every element identically."""
+        return self.signature == other.signature
+
+    def short(self) -> str:
+        """Compact human-readable form used in reports and graph dumps."""
+        return "(" + ", ".join(str(m) for m in self.dim_maps) + ")"
+
+    def __str__(self) -> str:
+        return f"Mapping[{self.alignment} ; {self.distribution}]"

@@ -1,0 +1,94 @@
+"""Processor arrangements (HPF ``PROCESSORS`` directive).
+
+A :class:`ProcessorArrangement` is a named multi-dimensional grid of abstract
+processors.  Grid coordinates are mapped to linear ranks in row-major
+(C) order, matching the usual HPF implementation convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ProcessorArrangement:
+    """A named grid of abstract processors, e.g. ``PROCESSORS P(2, 4)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ShapeError(f"processor arrangement {self.name!r} must have rank >= 1")
+        if any(s <= 0 for s in self.shape):
+            raise ShapeError(f"processor arrangement {self.name!r} has non-positive extent")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def linear_rank(self, coords: tuple[int, ...]) -> int:
+        """Row-major linearization of grid coordinates."""
+        if len(coords) != self.rank:
+            raise ShapeError(f"expected {self.rank} coordinates, got {len(coords)}")
+        rank = 0
+        for c, s in zip(coords, self.shape):
+            if not 0 <= c < s:
+                raise ShapeError(f"coordinate {c} out of range [0,{s}) in {self.name}")
+            rank = rank * s + c
+        return rank
+
+    def coords(self, linear: int) -> tuple[int, ...]:
+        """Inverse of :meth:`linear_rank`."""
+        if not 0 <= linear < self.size:
+            raise ShapeError(f"rank {linear} out of range [0,{self.size})")
+        out = []
+        for s in reversed(self.shape):
+            out.append(linear % s)
+            linear //= s
+        return tuple(reversed(out))
+
+    def all_coords(self) -> list[tuple[int, ...]]:
+        return list(product(*(range(s) for s in self.shape)))
+
+    def __str__(self) -> str:
+        dims = ",".join(str(s) for s in self.shape)
+        return f"{self.name}({dims})"
+
+
+def dims_create(nprocs: int, rank: int) -> tuple[int, ...]:
+    """Balanced factorization of ``nprocs`` into ``rank`` grid extents.
+
+    Mirrors ``MPI_Dims_create``: prime factors are assigned largest-first to
+    the currently smallest dimension, yielding e.g. 4 -> (2, 2), 8 -> (4, 2),
+    12 -> (4, 3).  Used when a distribution has fewer distributed dimensions
+    than the machine's declared arrangement: the compiler chooses a matching
+    abstract grid over the same linear processors (HPF leaves this choice to
+    the implementation).
+    """
+    if rank <= 0:
+        raise ShapeError("dims_create requires rank >= 1")
+    factors: list[int] = []
+    n = nprocs
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    dims = [1] * rank
+    for p in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= p
+    return tuple(sorted(dims, reverse=True))

@@ -1,0 +1,41 @@
+"""Templates (HPF ``TEMPLATE`` directive).
+
+A template is a named abstract index space: it has a shape but no storage.
+Arrays are aligned to templates; templates are distributed onto processor
+arrangements.  Distributing an array directly (``DISTRIBUTE A(BLOCK,*)``)
+is modelled by giving ``A`` an identity alignment to an implicit template
+of the same shape, which is how HPF defines it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class Template:
+    """A named abstract index space, e.g. ``TEMPLATE T(100, 100)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ShapeError(f"template {self.name!r} must have rank >= 1")
+        if any(s <= 0 for s in self.shape):
+            raise ShapeError(f"template {self.name!r} has non-positive extent")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @classmethod
+    def implicit_for(cls, array_name: str, shape: tuple[int, ...]) -> "Template":
+        """The implicit template created when an array is distributed directly."""
+        return cls(name=f"$T_{array_name}", shape=shape)
+
+    def __str__(self) -> str:
+        dims = ",".join(str(s) for s in self.shape)
+        return f"{self.name}({dims})"

@@ -1,0 +1,34 @@
+"""The paper's core contribution: the remapping graph and its optimizations.
+
+* :mod:`~repro.remap.graph` -- the remapping graph ``G_R`` (Appendix A):
+  a contracted control-flow graph whose vertices are remapping statements,
+  labelled with remapped arrays ``S(v)``, leaving copy ``L_A(v)``, reaching
+  copies ``R_A(v)`` and use information ``U_A(v)``.
+* :mod:`~repro.remap.construction` -- the construction algorithm
+  (Appendix B): mapping propagation, reference versioning and legality
+  checks, effect summarization, graph contraction.
+* :mod:`~repro.remap.optimize` -- useless remapping removal (Appendix C).
+* :mod:`~repro.remap.livecopies` -- dynamic live copies ``M_A(v)``
+  (Appendix D).
+* :mod:`~repro.remap.motion` -- loop-invariant remapping motion
+  (Fig. 16/17).
+* :mod:`~repro.remap.codegen` -- copy code generation (Fig. 19/20) and the
+  reaching-status restore around calls (Fig. 15/18).
+"""
+
+from repro.remap.construction import ConstructionResult, build_remapping_graph
+from repro.remap.graph import GRVertex, RemappingGraph, VersionTable
+from repro.remap.livecopies import compute_live_copies
+from repro.remap.motion import hoist_loop_invariant_remaps
+from repro.remap.optimize import remove_useless_remappings
+
+__all__ = [
+    "ConstructionResult",
+    "GRVertex",
+    "RemappingGraph",
+    "VersionTable",
+    "build_remapping_graph",
+    "compute_live_copies",
+    "hoist_loop_invariant_remaps",
+    "remove_useless_remappings",
+]

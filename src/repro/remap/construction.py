@@ -1,0 +1,601 @@
+"""Remapping-graph construction (paper Appendix B).
+
+The construction runs four dataflow problems over the CFG and assembles the
+results into a :class:`~repro.remap.graph.RemappingGraph`:
+
+1. **Reaching/leaving mapping propagation** (may-forward).  The state maps
+   each array to the set of versions it may currently have, each template
+   to its possible distributions, and carries the ``v_b`` reaching sets that
+   the matching ``v_a`` restores.  Remapping statements update the state
+   through the paper's ``impact`` function; ``v_c``/``v_0`` seed dummy and
+   local mappings; ``v_e`` forces dummies back to their declared mappings.
+2. **Reference checking and versioning**.  Every reference (compute effect
+   or call argument) must see exactly one reaching mapping -- otherwise the
+   program violates restriction 1 and :class:`AmbiguousMappingError` is
+   raised (Fig. 5).  Ambiguous *states* without references are fine
+   (Fig. 6).  References are annotated with their version, which is the
+   "substitute the right copy" rewriting of Fig. 7.
+3. **Effect summarization** (may-backward) computing ``U_A(v)`` for each
+   leaving copy, with intent-derived effects at calls and at ``v_c``/``v_e``
+   (Fig. 22).
+4. **Graph contraction** (may-backward ``RemappedAfter``) producing the
+   edges of ``G_R``.
+
+A fifth, small forward pass implements the kill directive (Sec. 4.3): from
+a ``kill`` statement until the next full redefinition the array's values
+are dead, so any remapping reached only by dead values needs no
+communication (``dead_source``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    AmbiguousMappingError,
+    MultipleLeavingMappingsError,
+    SemanticError,
+)
+from repro.ir.cfg import CFG, CFGNode, NodeKind
+from repro.ir.effects import (
+    Use,
+    intent_call_effect,
+    intent_entry_exit_effects,
+    join,
+    seq,
+    stmt_effect,
+)
+from repro.lang.ast_nodes import Call, Compute, Kill, Realign, Redistribute
+from repro.lang.semantics import (
+    ResolvedProgram,
+    ResolvedSubroutine,
+    arrangement_for,
+    make_axes,
+    make_formats,
+)
+from repro.mapping.align import Alignment
+from repro.mapping.distribute import Distribution
+from repro.mapping.mapping import Mapping
+from repro.remap.graph import GRVertex, RemappingGraph, VersionTable
+
+
+# ---------------------------------------------------------------------------
+# propagation state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MapState:
+    """Forward propagation state (all components grow monotonically)."""
+
+    amap: dict[str, frozenset[int]] = field(default_factory=dict)
+    tdist: dict[str, frozenset[Distribution]] = field(default_factory=dict)
+    saved: dict[tuple[int, str], frozenset[int]] = field(default_factory=dict)
+
+    def copy(self) -> "MapState":
+        return MapState(dict(self.amap), dict(self.tdist), dict(self.saved))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MapState)
+            and self.amap == other.amap
+            and self.tdist == other.tdist
+            and self.saved == other.saved
+        )
+
+
+def _join_states(states: list[MapState]) -> MapState:
+    out = MapState()
+    for st in states:
+        for k, v in st.amap.items():
+            out.amap[k] = out.amap.get(k, frozenset()) | v
+        for k, d in st.tdist.items():
+            out.tdist[k] = out.tdist.get(k, frozenset()) | d
+        for k, s in st.saved.items():
+            out.saved[k] = out.saved.get(k, frozenset()) | s
+    return out
+
+
+# ---------------------------------------------------------------------------
+# result container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallInfo:
+    """Everything the caller-side needs about one call site."""
+
+    group: int
+    callee: str
+    # caller array name per array argument, in dummy order
+    args: tuple[str, ...]
+    dummies: tuple[str, ...]
+    intents: tuple[str, ...]
+    # version (in the *caller's* table) each argument must have at the call
+    dummy_versions: tuple[int, ...]
+    # reaching versions saved at v_b per argument (for the v_a restore)
+    saved_reaching: dict[str, frozenset[int]] = field(default_factory=dict)
+
+
+@dataclass
+class ConstructionResult:
+    sub: ResolvedSubroutine
+    cfg: CFG
+    graph: RemappingGraph
+    versions: VersionTable
+    # id(stmt) -> {array -> version referenced}
+    stmt_versions: dict[int, dict[str, int]]
+    # call group -> CallInfo
+    calls: dict[int, CallInfo]
+    # cfg node id -> in/out mapping states (kept for reports and tests)
+    in_states: dict[int, MapState]
+    out_states: dict[int, MapState]
+
+
+# ---------------------------------------------------------------------------
+# the construction
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self, cfg: CFG, program: ResolvedProgram):
+        self.cfg = cfg
+        self.sub = cfg.sub
+        self.program = program
+        self.versions = VersionTable()
+        # seed version 0 = declared mapping for every array
+        for name, info in self.sub.arrays.items():
+            self.versions.version_of(name, info.initial_mapping)
+        # node id -> arrays this vertex targets (computed during transfer)
+        self.targets: dict[int, set[str]] = {}
+        self.calls: dict[int, CallInfo] = {}
+
+    # -- impact: the paper's mapping-update function ---------------------------
+
+    def _mapping(self, array: str, version: int) -> Mapping:
+        return self.versions.mapping_of(array, version)
+
+    def _impact_realign(self, s: Realign, state: MapState, node: CFGNode) -> MapState:
+        sub = self.sub
+        a = s.alignee
+        shape = sub.arrays[a].shape
+        out = state.copy()
+        if s.target in sub.templates:
+            t = sub.templates[s.target]
+            dists = state.tdist.get(t.name, frozenset())
+            if not dists:
+                raise SemanticError(
+                    f"{sub.name}: realign {a} with {s.target}: template has no "
+                    "distribution at this point"
+                )
+            if len(dists) > 1:
+                raise MultipleLeavingMappingsError(
+                    f"{sub.name}: realign {a} with {s.target}: the template's "
+                    f"distribution is control-flow dependent at {node.describe()} "
+                    "(paper Fig. 21)"
+                )
+            axes = make_axes(s.dummies, s.subscripts, len(shape), t.rank, sub.name)
+            new = Mapping(Alignment(shape, t, axes), next(iter(dists)))
+        else:  # realign with another array
+            b = s.target
+            bvers = state.amap.get(b, frozenset())
+            if not bvers:
+                raise SemanticError(
+                    f"{sub.name}: realign {a} with {b}: target has no mapping here"
+                )
+            if len(bvers) > 1:
+                raise MultipleLeavingMappingsError(
+                    f"{sub.name}: realign {a} with {b}: the target's mapping is "
+                    f"control-flow dependent at {node.describe()} (paper Fig. 21)"
+                )
+            mb = self._mapping(b, next(iter(bvers)))
+            inner = make_axes(
+                s.dummies, s.subscripts, len(shape), len(mb.shape), sub.name
+            )
+            new = Mapping(mb.alignment.compose(shape, inner), mb.distribution)
+        out.amap[a] = frozenset({self.versions.version_of(a, new)})
+        self.targets.setdefault(node.id, set()).add(a)
+        return out
+
+    def _impact_redistribute(self, s: Redistribute, state: MapState, node: CFGNode) -> MapState:
+        sub = self.sub
+        if s.target in sub.templates:
+            tname = s.target
+        else:
+            tname = sub.root_of[s.target]
+        t = sub.templates[tname]
+        fmts = make_formats(s.formats)
+        arr = arrangement_for(
+            sub.processors, fmts, s.onto, f"{sub.name}: redistribute {s.target}"
+        )
+        new_dist = Distribution(t, fmts, arr)
+        out = state.copy()
+        out.tdist[tname] = frozenset({new_dist})
+        for a, vers in state.amap.items():
+            new_set: set[int] = set()
+            changed = False
+            for v in vers:
+                m = self._mapping(a, v)
+                if m.alignment.template.name == tname:
+                    nm = Mapping(m.alignment, new_dist)
+                    nv = self.versions.version_of(a, nm)
+                    new_set.add(nv)
+                    if nv != v:
+                        changed = True
+                else:
+                    new_set.add(v)
+            if changed:
+                if len(new_set) > 1:
+                    raise MultipleLeavingMappingsError(
+                        f"{sub.name}: redistribute {s.target} leaves array {a!r} "
+                        f"with several possible mappings at {node.describe()} "
+                        "(paper Fig. 5/21: forbidden by restriction 1)"
+                    )
+                out.amap[a] = frozenset(new_set)
+                self.targets.setdefault(node.id, set()).add(a)
+        return out
+
+    def _call_info(self, stmt: Call, group: int) -> CallInfo:
+        info = self.calls.get(group)
+        if info is not None:
+            return info
+        callee = self.program.get(stmt.callee)
+        dummies = tuple(callee.dummy_arrays)
+        args = tuple(a for a in stmt.args if a in self.sub.arrays)
+        intents = tuple(callee.arrays[d].intent or "inout" for d in dummies)
+        dummy_versions = tuple(
+            self.versions.version_of(arg, callee.arrays[d].initial_mapping)
+            for arg, d in zip(args, dummies)
+        )
+        info = CallInfo(group, stmt.callee, args, dummies, intents, dummy_versions)
+        self.calls[group] = info
+        return info
+
+    def _transfer(self, nid: int, state: MapState) -> MapState:
+        node = self.cfg.nodes[nid]
+        sub = self.sub
+        if node.kind is NodeKind.CALLV:
+            out = state.copy()
+            for name in sub.dummy_arrays:
+                out.amap[name] = frozenset({0})
+                m = sub.arrays[name].initial_mapping
+                out.tdist[m.alignment.template.name] = frozenset({m.distribution})
+            self.targets.setdefault(nid, set()).update(sub.dummy_arrays)
+            return out
+        if node.kind is NodeKind.ENTRY:
+            out = state.copy()
+            for tname, dist in sub.template_distributions.items():
+                out.tdist[tname] = out.tdist.get(tname, frozenset()) | frozenset({dist})
+            locals_ = [n for n in sub.arrays if n not in sub.params]
+            for name in locals_:
+                out.amap[name] = frozenset({0})
+                m = sub.arrays[name].initial_mapping
+                out.tdist.setdefault(m.alignment.template.name, frozenset())
+                out.tdist[m.alignment.template.name] |= frozenset({m.distribution})
+            self.targets.setdefault(nid, set()).update(locals_)
+            return out
+        if node.kind is NodeKind.EXIT:
+            out = state.copy()
+            for name in sub.dummy_arrays:
+                out.amap[name] = frozenset({0})
+            self.targets.setdefault(nid, set()).update(sub.dummy_arrays)
+            return out
+        if node.kind is NodeKind.REMAP:
+            if isinstance(node.stmt, Realign):
+                return self._impact_realign(node.stmt, state, node)
+            assert isinstance(node.stmt, Redistribute)
+            return self._impact_redistribute(node.stmt, state, node)
+        if node.kind is NodeKind.CALL_BEFORE:
+            assert isinstance(node.stmt, Call) and node.call_group is not None
+            info = self._call_info(node.stmt, node.call_group)
+            out = state.copy()
+            for arg, dv in zip(info.args, info.dummy_versions):
+                out.saved[(info.group, arg)] = (
+                    out.saved.get((info.group, arg), frozenset())
+                    | state.amap.get(arg, frozenset())
+                )
+                out.amap[arg] = frozenset({dv})
+            self.targets.setdefault(nid, set()).update(info.args)
+            return out
+        if node.kind is NodeKind.CALL_AFTER:
+            assert isinstance(node.stmt, Call) and node.call_group is not None
+            info = self._call_info(node.stmt, node.call_group)
+            out = state.copy()
+            for arg in info.args:
+                restored = state.saved.get((info.group, arg), frozenset())
+                if restored:
+                    out.amap[arg] = restored
+            self.targets.setdefault(nid, set()).update(info.args)
+            return out
+        # COMPUTE / KILL / CALL / BRANCH / JOIN / LOOP_HEAD: identity
+        return state
+
+    # -- forward mapping propagation ------------------------------------------------
+
+    def propagate(self) -> tuple[dict[int, MapState], dict[int, MapState]]:
+        from repro.analysis.dataflow import Direction, solve
+
+        # id order = construction order = textual order, so versions are
+        # discovered (and numbered) in program order like the paper's figures
+        nodes = sorted(self.cfg.nodes)
+        return solve(
+            nodes,
+            preds=lambda n: self.cfg.preds[n],
+            succs=lambda n: self.cfg.succs[n],
+            direction=Direction.FORWARD,
+            boundary=lambda n: MapState(),
+            transfer=self._transfer,
+            join=lambda n, states: _join_states(states),
+            equal=lambda a, b: a == b,
+        )
+
+    # -- reference checking / versioning ---------------------------------------------
+
+    def annotate_references(
+        self, in_states: dict[int, MapState]
+    ) -> dict[int, dict[str, int]]:
+        out: dict[int, dict[str, int]] = {}
+        for nid, node in self.cfg.nodes.items():
+            refs: list[str] = []
+            if node.kind is NodeKind.COMPUTE:
+                assert isinstance(node.stmt, Compute)
+                refs = [
+                    n
+                    for n in node.stmt.reads + node.stmt.writes + node.stmt.defines
+                    if n in self.sub.arrays
+                ]
+            elif node.kind is NodeKind.CALL:
+                assert isinstance(node.stmt, Call) and node.call_group is not None
+                refs = list(self.calls[node.call_group].args)
+            if not refs:
+                continue
+            st = in_states[nid]
+            ann: dict[str, int] = {}
+            for a in refs:
+                vers = st.amap.get(a, frozenset())
+                if len(vers) != 1:
+                    names = (
+                        "{"
+                        + ", ".join(self.versions.name(a, v) for v in sorted(vers))
+                        + "}"
+                    )
+                    raise AmbiguousMappingError(
+                        f"{self.sub.name}: reference to {a!r} at {node.describe()} "
+                        f"with ambiguous mapping {names} (paper restriction 1, Fig. 5)"
+                    )
+                ann[a] = next(iter(vers))
+            if ann:
+                out.setdefault(id(node.stmt), {}).update(ann)
+        return out
+
+    # -- S / L / R per vertex ----------------------------------------------------------
+
+    def vertex_labels(
+        self, in_states: dict[int, MapState], out_states: dict[int, MapState]
+    ) -> dict[int, GRVertex]:
+        vertices: dict[int, GRVertex] = {}
+        for nid, node in self.cfg.nodes.items():
+            if not node.is_remap_vertex or node.kind is NodeKind.KILL:
+                continue
+            targeted = self.targets.get(nid, set())
+            v = GRVertex(nid, node.kind, node.label)
+            for a in sorted(targeted):
+                reaching = in_states[nid].amap.get(a, frozenset())
+                leaving = out_states[nid].amap.get(a, frozenset())
+                if node.kind is NodeKind.CALL_AFTER:
+                    # restore vertex: leaving may legitimately be ambiguous
+                    if reaching == leaving and len(leaving) == 1:
+                        continue  # nothing to restore
+                    v.S.add(a)
+                    v.R[a] = reaching
+                    if len(leaving) == 1:
+                        v.L[a] = next(iter(leaving))
+                    else:
+                        v.L[a] = None
+                        v.restore[a] = frozenset(leaving)
+                    continue
+                if len(leaving) != 1:
+                    raise MultipleLeavingMappingsError(
+                        f"{self.sub.name}: array {a!r} has several leaving mappings "
+                        f"at {node.describe()}"
+                    )
+                (l,) = leaving
+                if reaching == leaving:
+                    continue  # statically a no-op remapping: not a G_R vertex for a
+                v.S.add(a)
+                v.R[a] = reaching
+                v.L[a] = l
+            if v.S or node.kind in (NodeKind.CALLV, NodeKind.ENTRY, NodeKind.EXIT):
+                vertices[nid] = v
+        return vertices
+
+    # -- backward effect summarization --------------------------------------------------
+
+    def effects_of(self, node: CFGNode) -> dict[str, Use]:
+        sub = self.sub
+        if node.kind is NodeKind.COMPUTE:
+            assert isinstance(node.stmt, Compute)
+            eff = stmt_effect(node.stmt.reads, node.stmt.writes, node.stmt.defines)
+            return {a: u for a, u in eff.items() if a in sub.arrays}
+        if node.kind is NodeKind.CALL:
+            assert isinstance(node.stmt, Call) and node.call_group is not None
+            info = self.calls[node.call_group]
+            return {
+                arg: intent_call_effect(intent)
+                for arg, intent in zip(info.args, info.intents)
+            }
+        if node.kind is NodeKind.CALLV:
+            return {
+                a: intent_entry_exit_effects(sub.arrays[a].intent or "inout")[0]
+                for a in sub.dummy_arrays
+            }
+        if node.kind is NodeKind.EXIT:
+            return {
+                a: intent_entry_exit_effects(sub.arrays[a].intent or "inout")[1]
+                for a in sub.dummy_arrays
+            }
+        return {}
+
+    def summarize_effects(self, vertices: dict[int, GRVertex]) -> None:
+        from repro.analysis.dataflow import Direction, solve
+
+        nodes = self.cfg.rpo()
+        masks: dict[int, set[str]] = {
+            nid: set(v.S) for nid, v in vertices.items()
+        }
+
+        def transfer(nid: int, after: dict[str, Use]) -> dict[str, Use]:
+            own = self.effects_of(self.cfg.nodes[nid])
+            out: dict[str, Use] = dict(after)
+            for a, u in own.items():
+                out[a] = seq(u, after.get(a, Use.N))
+            for a in masks.get(nid, ()):  # remapped here: stop upstream flow
+                out.pop(a, None)
+            return out
+
+        def join_eff(nid: int, states: list[dict[str, Use]]) -> dict[str, Use]:
+            out: dict[str, Use] = {}
+            for st in states:
+                for a, u in st.items():
+                    out[a] = join(out.get(a, Use.N), u)
+            return out
+
+        after, _ = solve(
+            nodes,
+            preds=lambda n: self.cfg.preds[n],
+            succs=lambda n: self.cfg.succs[n],
+            direction=Direction.BACKWARD,
+            boundary=lambda n: {},
+            transfer=transfer,
+            join=join_eff,
+            equal=lambda a, b: a == b,
+        )
+        for nid, v in vertices.items():
+            eff_after = after.get(nid, {})
+            own = (
+                self.effects_of(self.cfg.nodes[nid])
+                if self.cfg.nodes[nid].kind is NodeKind.EXIT
+                else {}
+            )  # v_e's proper effects model use *after* exit (Fig. 22 exports)
+            for a in v.S:
+                v.U[a] = join(eff_after.get(a, Use.N), own.get(a, Use.N))
+
+    # -- graph contraction (RemappedAfter) ------------------------------------------------
+
+    def contract(self, vertices: dict[int, GRVertex], graph: RemappingGraph) -> None:
+        from repro.analysis.dataflow import Direction, solve
+
+        nodes = self.cfg.rpo()
+        Pairs = dict[str, frozenset[int]]
+        remapped: dict[int, set[str]] = {nid: set(v.S) for nid, v in vertices.items()}
+
+        def transfer(nid: int, after: Pairs) -> Pairs:
+            out: dict[str, frozenset[int]] = dict(after)
+            for a in remapped.get(nid, ()):  # remapped here: earlier vertices see us
+                out[a] = frozenset({nid})
+            return out
+
+        def join_pairs(nid: int, states: list[Pairs]) -> Pairs:
+            out: dict[str, frozenset[int]] = {}
+            for st in states:
+                for a, vs in st.items():
+                    out[a] = out.get(a, frozenset()) | vs
+            return out
+
+        after, _ = solve(
+            nodes,
+            preds=lambda n: self.cfg.preds[n],
+            succs=lambda n: self.cfg.succs[n],
+            direction=Direction.BACKWARD,
+            boundary=lambda n: {},
+            transfer=transfer,
+            join=join_pairs,
+            equal=lambda a, b: a == b,
+        )
+        for nid, v in vertices.items():
+            remapped_after = after.get(nid, {})
+            for a in v.S:
+                for succ_id in remapped_after.get(a, frozenset()):
+                    if succ_id in vertices and a in vertices[succ_id].S:
+                        graph.add_edge(nid, succ_id, a)
+
+    # -- kill / dead-values forward analysis -----------------------------------------------
+
+    def dead_values(self, vertices: dict[int, GRVertex]) -> None:
+        """Mark remapping vertices whose incoming values are certainly dead.
+
+        Must-forward problem: an array's values are dead after a ``kill``
+        and stay dead until a write or full definition; a remapping reached
+        only by dead values needs no copy communication (paper Sec. 4.3).
+        """
+        from repro.analysis.dataflow import Direction, solve
+
+        nodes = self.cfg.rpo()
+        TOP = 2  # unreachable-yet marker; 1 = dead, 0 = live
+
+        def transfer(nid: int, state: dict[str, int]) -> dict[str, int]:
+            node = self.cfg.nodes[nid]
+            out = {a: state.get(a, 0) for a in self.sub.arrays}
+            if node.kind is NodeKind.KILL:
+                assert isinstance(node.stmt, Kill)
+                for a in node.stmt.names:
+                    out[a] = 1
+            else:
+                for a, u in self.effects_of(node).items():
+                    if u in (Use.W, Use.D):
+                        out[a] = 0
+            return out
+
+        def join_dead(nid: int, states: list[dict[str, int]]) -> dict[str, int]:
+            if not states:
+                return {a: 0 for a in self.sub.arrays}
+            out: dict[str, int] = {}
+            for a in self.sub.arrays:
+                vals = [st.get(a, TOP) for st in states]
+                vals = [v for v in vals if v != TOP]
+                out[a] = min(vals) if vals else TOP
+            return out
+
+        into, _ = solve(
+            nodes,
+            preds=lambda n: self.cfg.preds[n],
+            succs=lambda n: self.cfg.succs[n],
+            direction=Direction.FORWARD,
+            boundary=lambda n: {a: TOP for a in self.sub.arrays},
+            transfer=transfer,
+            join=join_dead,
+            equal=lambda a, b: a == b,
+        )
+        for nid, v in vertices.items():
+            st = into.get(nid, {})
+            for a in v.S:
+                if st.get(a, 0) == 1:
+                    v.dead_source.add(a)
+
+
+def build_remapping_graph(cfg: CFG, program: ResolvedProgram) -> ConstructionResult:
+    """Run the full Appendix B construction for one subroutine."""
+    b = _Builder(cfg, program)
+    in_states, out_states = b.propagate()
+    stmt_versions = b.annotate_references(in_states)
+    vertices = b.vertex_labels(in_states, out_states)
+    b.summarize_effects(vertices)
+    graph = RemappingGraph(b.versions, vertices, v_c=cfg.entry, v_0=cfg.entry + 1, v_e=cfg.exit)
+    b.contract(vertices, graph)
+    b.dead_values(vertices)
+    # save reaching sets for call restores
+    for info in b.calls.values():
+        for arg in info.args:
+            info.saved_reaching[arg] = out_states[cfg.exit].saved.get(
+                (info.group, arg), frozenset()
+            )
+    return ConstructionResult(
+        sub=cfg.sub,
+        cfg=cfg,
+        graph=graph,
+        versions=b.versions,
+        stmt_versions=stmt_versions,
+        calls=b.calls,
+        in_states=in_states,
+        out_states=out_states,
+    )

@@ -1,0 +1,35 @@
+"""Simulated SPMD distributed-memory machine.
+
+The paper evaluates on a distributed-memory parallel computer driven by the
+message-passing code its HPF compiler emits.  We have no such machine, so
+this subpackage simulates one faithfully at the level the paper's claims
+live at: *which remapping messages are exchanged and how large they are*.
+
+* :class:`~repro.spmd.machine.Machine`: P processors with private memories,
+  per-processor clocks, and global traffic statistics.
+* :class:`~repro.spmd.darray.DistributedArray`: an array version's storage,
+  one real NumPy block per holding processor, addressed through the exact
+  ownership layout of its mapping.
+* :mod:`~repro.spmd.redistribution`: computes the exact message schedule of
+  a copy between two differently mapped versions (block-cyclic index-set
+  intersections, Prylli & Tourancheau style) and executes it, moving real
+  data and charging the cost model.
+"""
+
+from repro.spmd.cost import CostModel
+from repro.spmd.darray import DistributedArray
+from repro.spmd.machine import Machine
+from repro.spmd.message import Message, TrafficStats
+from repro.spmd.redistribution import RedistSchedule, Transfer, build_schedule, execute_schedule
+
+__all__ = [
+    "CostModel",
+    "DistributedArray",
+    "Machine",
+    "Message",
+    "RedistSchedule",
+    "TrafficStats",
+    "Transfer",
+    "build_schedule",
+    "execute_schedule",
+]

@@ -1,0 +1,36 @@
+"""Linear (alpha-beta) communication cost model.
+
+The classic model for message-passing machines of the paper's era (and
+still the first-order truth today): sending ``n`` bytes costs
+``alpha + beta * n`` seconds, where ``alpha`` is the per-message start-up
+latency and ``beta`` the inverse bandwidth.  Local memory copies cost
+``gamma`` per byte.
+
+Defaults approximate a mid-90s MPP (IBM SP2-ish): 40 us latency,
+40 MB/s bandwidth, 400 MB/s local copy -- the absolute values do not matter
+for the reproduction (shape does), but realistic ratios keep the
+latency/bandwidth trade-offs of the benchmarks honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-message linear cost model."""
+
+    alpha: float = 40e-6  # seconds per message
+    beta: float = 25e-9  # seconds per byte  (~40 MB/s)
+    gamma: float = 2.5e-9  # seconds per locally copied byte (~400 MB/s)
+
+    def message_cost(self, nbytes: int) -> float:
+        return self.alpha + self.beta * nbytes
+
+    def local_copy_cost(self, nbytes: int) -> float:
+        return self.gamma * nbytes
+
+    def status_check_cost(self) -> float:
+        """Cost of the runtime's 'inexpensive check of its status' (Sec. 4.3)."""
+        return 50e-9

@@ -1,0 +1,185 @@
+"""Distributed array storage: one real NumPy block per holding processor.
+
+A :class:`DistributedArray` is the runtime instance of one *array version*
+(one statically mapped copy in the paper's scheme).  Each holding processor
+stores exactly its owned elements, densely packed in the local numbering
+defined by the layout.  Scatter/gather against a global NumPy array are
+provided for initialization and verification; they are bookkeeping
+operations and deliberately do not touch the traffic statistics --
+only remapping copies (the paper's subject) are accounted as communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.mapping.mapping import Mapping
+from repro.mapping.ownership import Layout, layout_of
+from repro.spmd.machine import Machine
+from repro.util.intervals import IntervalSet
+
+
+def members_array(s: IntervalSet) -> np.ndarray:
+    """All members of an interval set as an int64 vector (vectorized)."""
+    if not s:
+        return np.empty(0, dtype=np.int64)
+    parts = [np.arange(lo, hi, dtype=np.int64) for lo, hi in s.intervals]
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+def positions_in(owned: IntervalSet, subset: IntervalSet) -> np.ndarray:
+    """Local positions of every member of ``subset`` within ``owned``.
+
+    ``subset`` must be contained in ``owned``.  Vectorized equivalent of
+    ``[owned.position(x) for x in subset]``.
+    """
+    if not subset:
+        return np.empty(0, dtype=np.int64)
+    starts = np.array([lo for lo, _ in owned.intervals], dtype=np.int64)
+    ends = np.array([hi for _, hi in owned.intervals], dtype=np.int64)
+    cum = np.concatenate(([0], np.cumsum(ends - starts)))[:-1]
+    xs = members_array(subset)
+    k = np.searchsorted(starts, xs, side="right") - 1
+    if np.any(k < 0) or np.any(xs >= ends[k]):
+        raise ShapeError("subset not contained in owned index set")
+    return cum[k] + (xs - starts[k])
+
+
+class DistributedArray:
+    """One statically mapped array version living on the machine."""
+
+    def __init__(
+        self,
+        name: str,
+        mapping: Mapping,
+        machine: Machine,
+        dtype: np.dtype | type = np.float64,
+        account_memory: bool = True,
+    ):
+        if mapping.processors.size != machine.processors.size:
+            raise ShapeError(
+                f"mapping uses {mapping.processors.size} processors, machine has "
+                f"{machine.processors.size}"
+            )
+        self.name = name
+        self.mapping = mapping
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        self.layout: Layout = layout_of(mapping)
+        self._account = account_memory
+        self.blocks: dict[int, np.ndarray] = {}
+        for q in self.layout.holders():
+            rank = mapping.processors.linear_rank(q)
+            shape = self.layout.local_shape(q)
+            block = np.zeros(shape, dtype=self.dtype)
+            self.blocks[rank] = block
+            if account_memory:
+                machine.allocate(rank, block.nbytes)
+        self._freed = False
+
+    # -- lifetime ------------------------------------------------------------
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.mapping.shape
+
+    def free(self) -> None:
+        """Release storage and memory accounting (idempotent)."""
+        if self._freed:
+            return
+        if self._account:
+            for rank, block in self.blocks.items():
+                self.machine.free(rank, block.nbytes)
+        self.blocks.clear()
+        self._freed = True
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def total_local_bytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks.values())
+
+    # -- scatter / gather (bookkeeping, not counted as traffic) -----------------
+
+    def _holder_indexers(self, q: tuple[int, ...]):
+        owned = self.layout.owned(q)
+        assert owned is not None
+        return tuple(members_array(s) for s in owned)
+
+    def scatter_from_global(self, arr: np.ndarray) -> None:
+        if tuple(arr.shape) != self.shape:
+            raise ShapeError(f"expected shape {self.shape}, got {arr.shape}")
+        for q in self.layout.holders():
+            rank = self.layout.procs.linear_rank(q)
+            idx = self._holder_indexers(q)
+            self.blocks[rank][...] = arr[np.ix_(*idx)] if idx else arr
+        self._freed = False
+
+    def gather_to_global(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for q in self.layout.holders():
+            rank = self.layout.procs.linear_rank(q)
+            idx = self._holder_indexers(q)
+            out[np.ix_(*idx)] = self.blocks[rank]
+        return out
+
+    # -- element access ----------------------------------------------------------
+
+    def get(self, index: tuple[int, ...]):
+        q = self.layout.primary_owner(index)
+        rank = self.layout.procs.linear_rank(q)
+        return self.blocks[rank][self.layout.global_to_local(q, index)]
+
+    def set(self, index: tuple[int, ...], value) -> None:
+        # writes update every replica so the array stays consistent
+        for q in self.layout.owner_coords(index):
+            rank = self.layout.procs.linear_rank(q)
+            self.blocks[rank][self.layout.global_to_local(q, index)] = value
+
+    # -- computation helpers -------------------------------------------------------
+
+    def apply_along_local_dim(self, fn, axis: int) -> None:
+        """Apply ``fn(block, axis=...)`` independently on every processor.
+
+        This is genuine SPMD-local computation: it requires the swept
+        dimension to be local (undistributed), which is exactly the property
+        remappings exist to establish (e.g. ADI sweeps, FFT stages).
+        """
+        if not self.layout.dim_is_local(axis):
+            raise ShapeError(
+                f"dimension {axis} of {self.name} is distributed; remap first "
+                f"(this is what the paper's remappings are for)"
+            )
+        for rank, block in self.blocks.items():
+            if block.size:
+                self.blocks[rank] = np.ascontiguousarray(fn(block, axis))
+
+    def apply_global(self, fn) -> None:
+        """Gather, apply ``fn(global_array) -> global_array``, scatter back.
+
+        Models an owner-computes compute phase whose internal communication is
+        out of the paper's scope; not charged to the traffic statistics.
+        """
+        self.scatter_from_global(np.asarray(fn(self.gather_to_global()), dtype=self.dtype))
+
+    def check_replicas_consistent(self) -> bool:
+        """True iff all replicas of every element agree (test invariant)."""
+        ref = self.gather_to_global()
+        for q in self.layout.holders():
+            rank = self.layout.procs.linear_rank(q)
+            idx = self._holder_indexers(q)
+            if not np.array_equal(ref[np.ix_(*idx)], self.blocks[rank]):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedArray({self.name}, shape={self.shape}, "
+            f"mapping={self.mapping.short()}, holders={len(self.blocks)})"
+        )

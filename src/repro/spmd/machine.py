@@ -1,0 +1,125 @@
+"""The simulated machine: processors, memories, clocks, traffic log.
+
+A :class:`Machine` is deliberately passive -- it is a ledger.  The
+redistribution engine and the runtime executor tell it what happens
+(messages, local copies, allocations) and it accounts simulated time per
+processor, memory per processor, and global traffic statistics.
+
+Simulated elapsed time follows the usual LogP-ish convention: each message
+charges its cost to both endpoints' clocks, and :attr:`elapsed` is the
+maximum processor clock, so perfectly parallel all-to-all phases cost what
+the busiest processor pays, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+from repro.mapping.processors import ProcessorArrangement
+from repro.spmd.cost import CostModel
+from repro.spmd.message import Message, TrafficStats
+
+
+@dataclass
+class _ProcState:
+    clock: float = 0.0
+    mem_used: int = 0
+    mem_peak: int = 0
+
+
+class Machine:
+    """A P-processor distributed-memory machine."""
+
+    def __init__(
+        self,
+        processors: ProcessorArrangement | int,
+        cost: CostModel | None = None,
+        memory_limit: int | None = None,
+        log_messages: bool = False,
+    ):
+        if isinstance(processors, int):
+            processors = ProcessorArrangement("P", (processors,))
+        self.processors = processors
+        self.cost = cost or CostModel()
+        self.memory_limit = memory_limit  # bytes per processor, None = unlimited
+        self.stats = TrafficStats()
+        self.log_messages = log_messages
+        self.message_log: list[Message] = []
+        self._procs = [_ProcState() for _ in range(processors.size)]
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.processors.size
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated elapsed time = busiest processor's clock."""
+        return max((p.clock for p in self._procs), default=0.0)
+
+    def mem_used(self, rank: int) -> int:
+        return self._procs[rank].mem_used
+
+    def mem_peak(self) -> int:
+        return max((p.mem_peak for p in self._procs), default=0)
+
+    # -- events --------------------------------------------------------------
+
+    def transfer(self, msg: Message) -> None:
+        """Account one point-to-point message (or a local copy if src==dst)."""
+        if msg.src == msg.dst:
+            self.stats.record_local_copy(msg.nbytes)
+            self._procs[msg.src].clock += self.cost.local_copy_cost(msg.nbytes)
+            return
+        self.stats.record_message(msg)
+        if self.log_messages:
+            self.message_log.append(msg)
+        c = self.cost.message_cost(msg.nbytes)
+        self._procs[msg.src].clock += c
+        self._procs[msg.dst].clock += c
+
+    def compute(self, rank: int, seconds: float) -> None:
+        """Charge local computation time to one processor."""
+        self._procs[rank].clock += seconds
+
+    def status_check(self) -> None:
+        """The runtime's cheap 'is the array already mapped as required' test."""
+        self.stats.status_checks += 1
+        for p in self._procs:
+            p.clock += self.cost.status_check_cost()
+
+    # -- memory accounting ------------------------------------------------------
+
+    def allocate(self, rank: int, nbytes: int) -> None:
+        p = self._procs[rank]
+        if self.memory_limit is not None and p.mem_used + nbytes > self.memory_limit:
+            raise OutOfMemoryError(
+                f"processor {rank}: {p.mem_used} + {nbytes} exceeds limit "
+                f"{self.memory_limit}"
+            )
+        p.mem_used += nbytes
+        p.mem_peak = max(p.mem_peak, p.mem_used)
+        self.stats.allocations += 1
+
+    def free(self, rank: int, nbytes: int) -> None:
+        p = self._procs[rank]
+        p.mem_used = max(0, p.mem_used - nbytes)
+        self.stats.frees += 1
+
+    def would_fit(self, rank: int, nbytes: int) -> bool:
+        if self.memory_limit is None:
+            return True
+        return self._procs[rank].mem_used + nbytes <= self.memory_limit
+
+    # -- control ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats = TrafficStats()
+        self.message_log.clear()
+        for p in self._procs:
+            p.clock = 0.0
+
+    def __repr__(self) -> str:
+        return f"Machine({self.processors}, elapsed={self.elapsed:.3e}s, stats={self.stats.snapshot()})"

@@ -1,0 +1,77 @@
+"""Message records and traffic statistics.
+
+Every remapping copy executed on the simulated machine is decomposed into
+point-to-point messages; :class:`TrafficStats` aggregates them so benchmarks
+can report exactly what the paper argues about -- remapping communication
+volume -- plus the counters the runtime optimizations affect (remappings
+performed, skipped because the target copy was live, copies elided because
+the target is dead, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message of a remapping copy."""
+
+    src: int  # linear sender rank
+    dst: int  # linear receiver rank
+    nbytes: int
+    elements: int
+    array: str = ""
+    tag: str = ""
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate communication and remapping counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    local_copies: int = 0
+    local_bytes: int = 0
+    remaps_performed: int = 0
+    remaps_skipped_live: int = 0  # target copy was live: no communication at all
+    remaps_skipped_status: int = 0  # array already mapped as required (Sec. 4.3)
+    remaps_dead_copy: int = 0  # U = D: allocated without communication
+    status_checks: int = 0
+    allocations: int = 0
+    frees: int = 0
+    evictions: int = 0
+    per_array_bytes: dict[str, int] = field(default_factory=dict)
+
+    def record_message(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.nbytes
+        if msg.array:
+            self.per_array_bytes[msg.array] = (
+                self.per_array_bytes.get(msg.array, 0) + msg.nbytes
+            )
+
+    def record_local_copy(self, nbytes: int) -> None:
+        self.local_copies += 1
+        self.local_bytes += nbytes
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "local_copies": self.local_copies,
+            "local_bytes": self.local_bytes,
+            "remaps_performed": self.remaps_performed,
+            "remaps_skipped_live": self.remaps_skipped_live,
+            "remaps_skipped_status": self.remaps_skipped_status,
+            "remaps_dead_copy": self.remaps_dead_copy,
+            "status_checks": self.status_checks,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "evictions": self.evictions,
+        }
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counter deltas since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {k: now[k] - earlier.get(k, 0) for k in now}

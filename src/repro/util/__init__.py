@@ -1,0 +1,6 @@
+"""Small generic utilities shared across the package."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.order import stable_unique, topo_order
+
+__all__ = ["IntervalSet", "stable_unique", "topo_order"]

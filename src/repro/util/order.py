@@ -1,0 +1,51 @@
+"""Ordering helpers used by graph algorithms and pretty printers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Deduplicate while keeping first-occurrence order."""
+    seen: set[T] = set()
+    out: list[T] = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out
+
+
+def topo_order(nodes: Sequence[T], successors: Callable[[T], Iterable[T]]) -> list[T]:
+    """Topological-ish order: reverse postorder of a DFS from the given roots.
+
+    Works on cyclic graphs too (loops in the CFG); in that case the result is
+    a reverse postorder, which is the standard iteration order for forward
+    dataflow problems.
+    """
+    visited: set[T] = set()
+    post: list[T] = []
+
+    for root in nodes:
+        if root in visited:
+            continue
+        # iterative DFS to avoid recursion limits on long CFGs
+        stack: list[tuple[T, Iterator]] = [(root, iter(successors(root)))]
+        visited.add(root)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, iter(successors(nxt))))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(node)
+                stack.pop()
+    post.reverse()
+    return post

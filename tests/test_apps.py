@@ -1,0 +1,144 @@
+"""Application-level integration tests: numerics validated vs NumPy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.adi import adi_reference, run_adi, thomas_constant
+from repro.apps.fft2d import run_fft2d
+from repro.apps.lu import lu_reference, run_lu
+from repro.apps.sar import run_sar
+
+
+# ---------------------------------------------------------------------------
+# ADI
+# ---------------------------------------------------------------------------
+
+
+def test_thomas_solves_tridiagonal_system():
+    n, alpha = 12, 0.3
+    rng = np.random.default_rng(1)
+    rhs = rng.normal(size=n)
+    x = thomas_constant(rhs, axis=0, alpha=alpha)
+    t = (
+        np.diag(np.full(n, 1 + 2 * alpha))
+        + np.diag(np.full(n - 1, -alpha), 1)
+        + np.diag(np.full(n - 1, -alpha), -1)
+    )
+    assert np.allclose(t @ x, rhs)
+
+
+def test_thomas_vectorized_matches_columnwise():
+    rng = np.random.default_rng(2)
+    rhs = rng.normal(size=(6, 5))
+    full = thomas_constant(rhs, axis=0, alpha=0.2)
+    for j in range(5):
+        assert np.allclose(full[:, j], thomas_constant(rhs[:, j], 0, 0.2))
+
+
+def test_adi_runs_and_matches_reference():
+    res = run_adi(n=16, steps=3, nprocs=4)
+    assert res.correct, f"max error {res.max_error}"
+    assert res.stats["messages"] > 0
+
+
+def test_adi_remaps_are_all_essential():
+    """ADI is the honest negative control: u is rewritten under each mapping
+    every iteration, so none of its remappings can be avoided -- the
+    optimizations must not help, and crucially must not hurt either."""
+    steps = 4
+    r3 = run_adi(n=16, steps=steps, nprocs=4, level=3)
+    r0 = run_adi(n=16, steps=steps, nprocs=4, level=0)
+    assert r3.correct and r0.correct
+    # the loop-top 'ensure (block,*)' remap at iteration 1 is free for both:
+    # optimized via the status check, naive because the copy is version 0 to
+    # version 0 (all-local); every other transpose must really happen
+    assert r3.stats["remaps_performed"] == 2 * steps - 1
+    assert r3.stats["bytes"] == r0.stats["bytes"]
+    assert np.allclose(r3.value, r0.value)
+
+
+def test_adi_different_processor_counts():
+    for p in (1, 2, 8):
+        res = run_adi(n=16, steps=2, nprocs=p)
+        assert res.correct
+
+
+# ---------------------------------------------------------------------------
+# FFT
+# ---------------------------------------------------------------------------
+
+
+def test_fft2d_matches_numpy():
+    res = run_fft2d(n=32, nprocs=4)
+    assert res.correct, f"max error {res.max_error}"
+
+
+def test_fft2d_transpose_is_all_to_all():
+    res = run_fft2d(n=32, nprocs=4)
+    # one corner turn: P*(P-1) messages, all data but the diagonal moves
+    assert res.stats["messages"] == 4 * 3
+    assert res.stats["remaps_performed"] == 1
+    moved = res.stats["bytes"]
+    total = 32 * 32 * 16  # complex128
+    assert moved == pytest.approx(total * 3 / 4)
+
+
+def test_fft2d_single_processor_no_messages():
+    res = run_fft2d(n=16, nprocs=1)
+    assert res.correct
+    assert res.stats["messages"] == 0
+
+
+# ---------------------------------------------------------------------------
+# LU
+# ---------------------------------------------------------------------------
+
+
+def test_lu_reference_factors():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=(8, 8)) + 8 * np.eye(8)
+    lu = lu_reference(a)
+    l = np.tril(lu, -1) + np.eye(8)
+    u = np.triu(lu)
+    assert np.allclose(l @ u, a)
+
+
+def test_lu_runs_and_matches_reference():
+    res = run_lu(n=16, block=4, nprocs=4)
+    assert res.correct, f"max error {res.max_error}"
+    assert res.stats["remaps_performed"] > 0
+
+
+def test_lu_naive_agrees_but_pays_more():
+    r0 = run_lu(n=16, block=4, nprocs=4, level=0)
+    r3 = run_lu(n=16, block=4, nprocs=4, level=3)
+    assert r0.correct and r3.correct
+    assert np.allclose(r0.value, r3.value)
+    assert r3.stats["bytes"] <= r0.stats["bytes"]
+
+
+# ---------------------------------------------------------------------------
+# SAR
+# ---------------------------------------------------------------------------
+
+
+def test_sar_matches_reference():
+    res = run_sar(n=32, looks=2, nprocs=4)
+    assert res.correct, f"max error {res.max_error}"
+
+
+def test_sar_corner_turn_traffic():
+    res = run_sar(n=32, looks=0, nprocs=4)
+    assert res.correct
+    assert res.stats["remaps_performed"] == 1  # the corner turn
+    assert res.stats["messages"] == 4 * 3
+
+
+def test_sar_point_target_focused():
+    # matched filtering should concentrate energy back onto point targets
+    res = run_sar(n=64, looks=0, nprocs=4, seed=7)
+    mag = np.abs(res.value)
+    # the peak must dominate the median strongly (focused image)
+    assert mag.max() > 20 * np.median(mag)

@@ -1,0 +1,189 @@
+"""Extra end-to-end coverage: realign at run time, nested call chains,
+multi-grid remappings, and the compilation report on a full program."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    ExecutionEnv,
+    Executor,
+    Machine,
+    compilation_report,
+    compile_program,
+)
+
+
+def run(src, sub=None, level=3, nprocs=4, **env_kw):
+    bindings = env_kw.pop("bindings", {"n": 16})
+    compiled = compile_program(
+        src, bindings=bindings, processors=nprocs, options=CompilerOptions(level=level)
+    )
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(bindings=bindings, check_invariants=True, **env_kw)
+    name = sub or next(iter(compiled.subroutines))
+    return Executor(compiled, machine, env).run(name), machine, compiled
+
+
+REALIGN = """
+subroutine main()
+  integer n
+  real A(n, n), B(n, n)
+!hpf$ align with B :: A
+!hpf$ dynamic A, B
+!hpf$ distribute B(block, *)
+  compute reads A, B
+!hpf$ realign A(i, j) with B(j, i)
+  compute reads A writes A
+!hpf$ realign A(i, j) with B(i, j)
+  compute reads A
+end
+"""
+
+
+def test_realign_executes_and_preserves_values():
+    data = np.arange(256.0).reshape(16, 16)
+    r0, m0, _ = run(REALIGN, level=0, inputs={"a": data.copy(), "b": np.ones((16, 16))})
+    r3, m3, _ = run(REALIGN, level=3, inputs={"a": data.copy(), "b": np.ones((16, 16))})
+    assert np.array_equal(r0.value("a"), r3.value("a"))
+    # the transposed-alignment copy is a genuine all-to-all
+    assert m3.stats.remaps_performed >= 1 and m3.stats.messages > 0
+
+
+def test_realign_to_template_with_offset():
+    src = """
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ template T(20)
+!hpf$ align A(i) with T(i)
+!hpf$ dynamic A
+!hpf$ distribute T(block)
+  compute reads A
+!hpf$ realign A(i) with T(i+4)
+  compute reads A writes A
+end
+"""
+    data = np.arange(16.0)
+    r, m, compiled = run(src, inputs={"a": data})
+    expected = 0.5 * data + data.sum() * 1e-3 + 1.0
+    assert np.allclose(r.value("a"), expected)
+    # shifting the alignment by 4 within BLOCK(5) really moves elements
+    assert m.stats.messages > 0
+
+
+NESTED = """
+subroutine leaf(Z)
+  integer n
+  real Z(n)
+  intent inout Z
+!hpf$ distribute Z(cyclic)
+  compute "bump" writes Z
+end
+
+subroutine mid(Y)
+  integer n
+  real Y(n)
+  intent inout Y
+!hpf$ distribute Y(block(8))
+  compute "bump2" writes Y
+  call leaf(Y)
+end
+
+subroutine main()
+  integer n
+  real X(n)
+!hpf$ dynamic X
+!hpf$ distribute X(block)
+  compute writes X
+  call mid(X)
+  compute reads X
+end
+"""
+
+NESTED_KERNELS = {
+    "bump": lambda ctx: ctx.set_value("z", ctx.value("z") + 1.0),
+    "bump2": lambda ctx: ctx.set_value("y", ctx.value("y") * 2.0),
+}
+
+
+def test_nested_calls_remap_through_two_levels():
+    data = np.arange(16.0)
+    for level in (0, 3):
+        r, m, _ = run(
+            NESTED, sub="main", level=level, inputs={"x": data}, kernels=NESTED_KERNELS
+        )
+        expected = (0.5 * data + 1.0) * 2.0 + 1.0
+        assert np.allclose(r.value("x"), expected), f"level {level}"
+        assert r.status("x") == 0  # restored all the way up
+
+
+def test_nested_calls_optimized_cheaper():
+    data = np.arange(16.0)
+    _, m0, _ = run(NESTED, sub="main", level=0, inputs={"x": data}, kernels=NESTED_KERNELS)
+    _, m3, _ = run(NESTED, sub="main", level=3, inputs={"x": data}, kernels=NESTED_KERNELS)
+    assert m3.stats.bytes <= m0.stats.bytes
+
+
+def test_2d_grid_remapping_roundtrip():
+    src = """
+subroutine main()
+  integer n
+  real A(n, n)
+!hpf$ dynamic A
+!hpf$ distribute A(block, block)
+  compute reads A
+!hpf$ redistribute A(cyclic, cyclic(2))
+  compute reads A writes A
+!hpf$ redistribute A(block, block)
+  compute reads A
+end
+"""
+    data = np.arange(256.0).reshape(16, 16)
+    r0, _, _ = run(src, level=0, inputs={"a": data})
+    r3, _, _ = run(src, level=3, inputs={"a": data})
+    assert np.array_equal(r0.value("a"), r3.value("a"))
+
+
+def test_grid_rank_changes_between_versions():
+    """(block,*) is a 1-D grid over 4 procs, (block,block) a 2x2 grid:
+    remapping between them crosses grid shapes over the same machine."""
+    src = """
+subroutine main()
+  integer n
+  real A(n, n)
+!hpf$ dynamic A
+!hpf$ distribute A(block, *)
+  compute reads A
+!hpf$ redistribute A(block, block)
+  compute reads A writes A
+!hpf$ redistribute A(block, *)
+  compute reads A
+end
+"""
+    data = np.arange(256.0).reshape(16, 16)
+    r, m, _ = run(src, inputs={"a": data})
+    acc = data.sum() * 1e-3
+    assert np.allclose(r.value("a"), 0.5 * data + acc + 1.0)
+    assert m.stats.messages > 0
+
+
+def test_compilation_report_full_program():
+    compiled = compile_program(
+        NESTED, bindings={"n": 16}, processors=4, options=CompilerOptions(level=3)
+    )
+    report = compilation_report(compiled)
+    for name in ("leaf", "mid", "main"):
+        assert f"subroutine {name}" in report
+    assert "x_0" in report and "x_1" in report
+
+
+def test_single_processor_everything_local():
+    r, m, _ = run(
+        REALIGN,
+        nprocs=1,
+        inputs={"a": np.arange(256.0).reshape(16, 16), "b": np.ones((16, 16))},
+    )
+    assert m.stats.messages == 0  # one processor: copies are all local

@@ -1,0 +1,180 @@
+"""Unit and property tests for IntervalSet."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+def test_empty():
+    s = IntervalSet.empty()
+    assert len(s) == 0
+    assert not s
+    assert list(s) == []
+    assert 3 not in s
+
+
+def test_range():
+    s = IntervalSet.range(2, 7)
+    assert len(s) == 5
+    assert list(s) == [2, 3, 4, 5, 6]
+    assert 2 in s and 6 in s and 7 not in s and 1 not in s
+
+
+def test_degenerate_range_is_empty():
+    assert not IntervalSet.range(5, 5)
+    assert not IntervalSet.range(7, 3)
+
+
+def test_normalization_merges_adjacent_and_overlapping():
+    s = IntervalSet([(0, 3), (3, 5), (7, 9), (8, 12)])
+    assert s.intervals == ((0, 5), (7, 12))
+
+
+def test_from_indices():
+    s = IntervalSet.from_indices([5, 1, 2, 3, 9, 2])
+    assert s.intervals == ((1, 4), (5, 6), (9, 10))
+
+
+def test_strided_runs_cyclic_ownership():
+    # CYCLIC(2) on 3 procs over [0, 14): proc 1 owns {2,3, 8,9}
+    s = IntervalSet.strided_runs(start=2, run=2, period=6, lo=0, hi=14)
+    assert list(s) == [2, 3, 8, 9]
+
+
+def test_strided_runs_clipping_lo():
+    s = IntervalSet.strided_runs(start=0, run=3, period=5, lo=4, hi=14)
+    # runs [0,3),[5,8),[10,13) clipped to [4,14): [5,8),[10,13)
+    assert s.intervals == ((5, 8), (10, 13))
+
+
+def test_strided_runs_partial_first_run():
+    s = IntervalSet.strided_runs(start=0, run=4, period=8, lo=2, hi=20)
+    assert s.intervals == ((2, 4), (8, 12), (16, 20))
+
+
+def test_intersect():
+    a = IntervalSet([(0, 10), (20, 30)])
+    b = IntervalSet([(5, 25)])
+    assert (a & b).intervals == ((5, 10), (20, 25))
+
+
+def test_union():
+    a = IntervalSet([(0, 5)])
+    b = IntervalSet([(3, 8), (10, 12)])
+    assert (a | b).intervals == ((0, 8), (10, 12))
+
+
+def test_difference():
+    a = IntervalSet([(0, 10)])
+    b = IntervalSet([(2, 4), (6, 7)])
+    assert (a - b).intervals == ((0, 2), (4, 6), (7, 10))
+
+
+def test_difference_disjoint():
+    a = IntervalSet([(0, 5)])
+    b = IntervalSet([(10, 12)])
+    assert (a - b) == a
+
+
+def test_position_and_nth_roundtrip():
+    s = IntervalSet([(2, 5), (10, 13)])
+    members = list(s)
+    for k, x in enumerate(members):
+        assert s.position(x) == k
+        assert s.nth(k) == x
+
+
+def test_position_missing_raises():
+    s = IntervalSet([(0, 3)])
+    with pytest.raises(KeyError):
+        s.position(5)
+
+
+def test_nth_out_of_range():
+    s = IntervalSet([(0, 3)])
+    with pytest.raises(IndexError):
+        s.nth(3)
+    with pytest.raises(IndexError):
+        s.nth(-1)
+
+
+def test_min_max():
+    s = IntervalSet([(4, 6), (9, 11)])
+    assert s.min() == 4
+    assert s.max() == 10
+    with pytest.raises(ValueError):
+        IntervalSet.empty().min()
+    with pytest.raises(ValueError):
+        IntervalSet.empty().max()
+
+
+def test_equality_and_hash():
+    a = IntervalSet([(0, 3), (3, 6)])
+    b = IntervalSet([(0, 6)])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != IntervalSet([(0, 5)])
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+small_sets = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)), max_size=8
+).map(IntervalSet)
+
+
+@given(small_sets, small_sets)
+def test_prop_intersection_matches_python_sets(a, b):
+    assert set(a & b) == set(a) & set(b)
+
+
+@given(small_sets, small_sets)
+def test_prop_union_matches_python_sets(a, b):
+    assert set(a | b) == set(a) | set(b)
+
+
+@given(small_sets, small_sets)
+def test_prop_difference_matches_python_sets(a, b):
+    assert set(a - b) == set(a) - set(b)
+
+
+@given(small_sets)
+def test_prop_len_matches_enumeration(a):
+    assert len(a) == len(list(a))
+
+
+@given(small_sets, st.integers(-60, 60))
+def test_prop_membership(a, x):
+    assert (x in a) == (x in set(a))
+
+
+@given(small_sets)
+def test_prop_position_nth_bijection(a):
+    for k, x in enumerate(a):
+        assert a.position(x) == k
+        assert a.nth(k) == x
+
+
+@given(
+    st.integers(-10, 10),
+    st.integers(1, 6),
+    st.integers(1, 30),
+    st.integers(-5, 30),
+    st.integers(-5, 40),
+)
+def test_prop_strided_runs_match_naive(start, run, period_mult, lo, hi):
+    period = run * period_mult
+    got = IntervalSet.strided_runs(start, run, period, lo, hi)
+    want = {
+        x
+        for k in range(-20, 60)
+        for x in range(start + k * period, start + k * period + run)
+        if lo <= x < hi
+    }
+    assert set(got) == want
