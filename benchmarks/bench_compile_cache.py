@@ -1,0 +1,101 @@
+"""Experiment S1 (ROADMAP: serve repeated compile traffic fast).
+
+A :class:`CompilerSession` memoizes compiled artifacts, so repeated
+compile/run traffic for the same (source, bindings, pass set) key pays a
+cache lookup instead of the full pipeline.  Measured across the four apps
+(adi, fft2d, lu, sar): warm compiles must do *zero* pipeline-pass work
+(the session's ``passes_run`` counter is flat) and be at least 10x faster
+than cold compiles.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CompilerSession
+from repro.apps.adi import build_adi_program
+from repro.apps.fft2d import build_fft2d_program
+from repro.apps.lu import build_lu_program
+from repro.apps.sar import build_sar_program
+
+N = 64
+APPS = {
+    "adi": lambda: build_adi_program(N),
+    "fft2d": lambda: build_fft2d_program(N),
+    "lu": lambda: build_lu_program(N, block=16)[0],
+    "sar": lambda: build_sar_program(N),
+}
+WARM_ITERS = 50
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_compile_cache_cold_vs_warm(benchmark):
+    session = CompilerSession(processors=4)
+    cold_s: dict[str, float] = {}
+    warm_s: dict[str, float] = {}
+    programs = {name: build() for name, build in APPS.items()}
+
+    for name, prog in programs.items():
+        cold_s[name] = _time(lambda p=prog: session.compile(p))
+        passes_after_cold = session.passes_run
+        t0 = time.perf_counter()
+        for _ in range(WARM_ITERS):
+            session.compile(prog)
+        warm_s[name] = (time.perf_counter() - t0) / WARM_ITERS
+        # zero parse/construction work on the warm path (pass-trace counters)
+        assert session.passes_run == passes_after_cold
+
+    assert session.stats["misses"] == len(APPS)
+    assert session.stats["hits"] == len(APPS) * WARM_ITERS
+
+    for name in APPS:
+        speedup = cold_s[name] / warm_s[name]
+        assert speedup >= 10.0, f"{name}: warm only {speedup:.1f}x faster"
+
+    # steady-state serving: every request after the first is a hit
+    benchmark(lambda: session.compile(programs["adi"]))
+    benchmark.extra_info.update(
+        {
+            **{f"cold_ms_{k}": round(v * 1e3, 4) for k, v in cold_s.items()},
+            **{f"warm_us_{k}": round(v * 1e6, 3) for k, v in warm_s.items()},
+            **{
+                f"speedup_{k}": round(cold_s[k] / warm_s[k], 1) for k in APPS
+            },
+            "hit_rate": session.stats["hit_rate"],
+        }
+    )
+
+
+def test_compile_cache_hit_rate_mixed_traffic(benchmark):
+    """A request mix over all four apps at two sizes: 8 distinct keys."""
+
+    def serve():
+        session = CompilerSession(processors=4)
+        for _ in range(5):
+            for name, build in APPS.items():
+                session.compile(build())
+            session.compile(build_adi_program(32))
+            session.compile(build_lu_program(32, block=8)[0])
+            session.compile(build_fft2d_program(32))
+            session.compile(build_sar_program(32))
+        return session
+
+    session = serve()
+    assert session.stats["misses"] == 8
+    assert session.stats["hits"] == 8 * 4
+    assert session.stats["hit_rate"] == 0.8
+
+    session = benchmark(serve)
+    benchmark.extra_info.update(
+        {
+            "distinct_keys": session.stats["misses"],
+            "requests": session.stats["hits"] + session.stats["misses"],
+            "hit_rate": session.stats["hit_rate"],
+            "passes_run": session.stats["passes_run"],
+        }
+    )

@@ -8,8 +8,11 @@ updates.  Dead copies (U = D) must generate no copy statement at all.
 
 from __future__ import annotations
 
-from repro import CompilerOptions, compile_program
+from repro import PassManager
 from repro.remap.codegen import RemapOp, render_op
+
+# the explicit pipeline API: level 3's pass set, assembled by name
+PIPELINE = PassManager.pipeline_for_level(3)
 
 FIG13 = """
 subroutine main()
@@ -46,8 +49,9 @@ end
 
 def test_fig19_codegen(benchmark):
     compiled = benchmark(
-        lambda: compile_program(FIG13, bindings={"n": 16}, processors=4)
+        lambda: PIPELINE.compile(FIG13, bindings={"n": 16}, processors=4)
     )
+    assert compiled.trace.counter("codegen", "ops") > 0
     code = compiled.get("main").code
     final = [
         op
@@ -69,7 +73,7 @@ def test_fig19_codegen(benchmark):
 
 def test_fig19_dead_copy_no_communication(benchmark):
     compiled = benchmark(
-        lambda: compile_program(DEAD, bindings={"n": 16}, processors=4)
+        lambda: PIPELINE.compile(DEAD, bindings={"n": 16}, processors=4)
     )
     code = compiled.get("main").code
     remaps = [op for op in code.all_ops() if isinstance(op, RemapOp)]

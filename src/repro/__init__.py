@@ -2,26 +2,39 @@
 Copies" (PPoPP'97).
 
 An HPF-style compiler front end, the paper's remapping-graph construction
-and dataflow optimizations, copy code generation, and a runtime executing
-the result on a simulated distributed-memory machine with exact message
-accounting.
+and dataflow optimizations organized as an explicit pass pipeline, copy
+code generation, and a runtime executing the result on a simulated
+distributed-memory machine with exact message accounting.
 
-Quickstart::
+Quickstart (the session API compiles with artifact caching and runs)::
 
-    from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+    from repro import CompilerSession
 
-    compiled = compile_program(SOURCE, bindings={"n": 64}, processors=4)
-    machine = Machine(4)
-    result = Executor(compiled, machine, ExecutionEnv(conditions={"c1": True})).run("main")
-    print(machine.stats.snapshot(), result.value("a"))
+    session = CompilerSession(processors=4)
+    result = session.run(SOURCE, bindings={"n": 64}, conditions={"c1": True})
+    print(result.stats.snapshot(), result.value("a"))
+
+Lower-level entry points: :func:`compile_program` (stable one-shot API) and
+:class:`~repro.compiler.pipeline.Pipeline`/:class:`~repro.compiler.pipeline.PassManager`
+for explicit control over the named passes (``parse``, ``motion``,
+``resolve``, ``construction``, ``remove-useless``, ``live-copies``,
+``status-checks``, ``codegen``).  Every compiled artifact carries a
+per-pass :class:`PipelineTrace` and an aggregated :class:`CompileReport`.
 """
 
 from repro.compiler import (
+    CompileReport,
     CompiledProgram,
     CompiledSubroutine,
     CompilerOptions,
+    CompilerSession,
+    Diagnostic,
+    PassManager,
+    Pipeline,
+    PipelineTrace,
     compilation_report,
     compile_program,
+    passes_for_level,
 )
 from repro.lang.builder import SubroutineBuilder, program
 from repro.mapping import (
@@ -33,18 +46,21 @@ from repro.mapping import (
     ProcessorArrangement,
     Template,
 )
-from repro.runtime import ExecutionEnv, ExecutionResult, Executor
+from repro.runtime import ExecutionEnv, ExecutionResult, Executor, execute
 from repro.spmd import CostModel, DistributedArray, Machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alignment",
     "AxisAlign",
+    "CompileReport",
     "CompiledProgram",
     "CompiledSubroutine",
     "CompilerOptions",
+    "CompilerSession",
     "CostModel",
+    "Diagnostic",
     "DistFormat",
     "DistributedArray",
     "Distribution",
@@ -53,10 +69,15 @@ __all__ = [
     "Executor",
     "Machine",
     "Mapping",
+    "PassManager",
+    "Pipeline",
+    "PipelineTrace",
     "ProcessorArrangement",
     "SubroutineBuilder",
     "Template",
     "compilation_report",
     "compile_program",
+    "execute",
+    "passes_for_level",
     "program",
 ]

@@ -1,8 +1,16 @@
-"""Compiled-program containers and compiler options."""
+"""Compiled-program containers and compiler options.
+
+``CompilerOptions`` is the stable user-facing knob.  An optimization
+``level`` is sugar: it desugars to a *pass set* (see :data:`PASS_ORDER` and
+:func:`passes_for_level`), and a custom pass list can be given directly via
+``passes=...``, in which case ``level`` is ignored.  The pipeline machinery
+itself lives in :mod:`repro.compiler.pipeline`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.lang.semantics import ResolvedProgram, ResolvedSubroutine
 from repro.remap.codegen import GeneratedCode
@@ -10,10 +18,63 @@ from repro.remap.construction import CallInfo, ConstructionResult
 from repro.remap.graph import RemappingGraph, VersionTable
 from repro.remap.motion import MotionReport
 
+if TYPE_CHECKING:  # avoid cycles: pipeline/diagnostics import this module
+    from repro.compiler.diagnostics import CompileReport
+    from repro.compiler.pipeline import PipelineTrace
+
+
+# ---------------------------------------------------------------------------
+# pass names and level desugaring
+# ---------------------------------------------------------------------------
+
+#: Canonical pass order.  A pass set is always run in this order; custom
+#: pass lists are validated against each pass's declared inputs/outputs.
+PASS_ORDER: tuple[str, ...] = (
+    "parse",
+    "motion",
+    "resolve",
+    "construction",
+    "remove-useless",
+    "live-copies",
+    "status-checks",
+    "codegen",
+    "codegen-naive",
+)
+
+#: Passes every complete compilation needs (front end through codegen).
+MANDATORY_PASSES: frozenset[str] = frozenset({"parse", "resolve", "construction"})
+
+
+def passes_for_level(level: int) -> tuple[str, ...]:
+    """Desugar an optimization level (paper Sec. 4) into a pass set.
+
+    * ``0`` -- naive baseline: every remapping is an unconditional copy;
+    * ``1`` -- + useless remapping removal (Appendix C) and runtime status
+      checks (skip remappings whose target is already current);
+    * ``2`` -- + dynamic live copies (Appendix D);
+    * ``3`` -- + loop-invariant remapping motion (Fig. 16/17).
+    """
+    if level <= 0:
+        names = {"parse", "resolve", "construction", "codegen-naive"}
+    else:
+        names = {
+            "parse",
+            "resolve",
+            "construction",
+            "remove-useless",
+            "status-checks",
+            "codegen",
+        }
+        if level >= 2:
+            names.add("live-copies")
+        if level >= 3:
+            names.add("motion")
+    return tuple(n for n in PASS_ORDER if n in names)
+
 
 @dataclass(frozen=True)
 class CompilerOptions:
-    """Optimization levels.
+    """Optimization levels (sugar) or a first-class custom pass list.
 
     * ``0`` -- naive baseline: every remapping is an unconditional copy;
     * ``1`` -- + useless remapping removal (Appendix C) and runtime status
@@ -21,29 +82,75 @@ class CompilerOptions:
     * ``2`` -- + dynamic live copies (Appendix D): superseded copies worth
       keeping are kept and reused without communication;
     * ``3`` -- + loop-invariant remapping motion (Fig. 16/17).  Default.
+
+    ``passes``, when given, overrides ``level`` entirely; the names must be
+    drawn from :data:`PASS_ORDER` and are run in canonical order.
     """
 
     level: int = 3
+    passes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.passes is not None:
+            names = tuple(self.passes)
+            unknown = [n for n in names if n not in PASS_ORDER]
+            if unknown:
+                raise ValueError(
+                    f"unknown pass name(s) {unknown}; known: {list(PASS_ORDER)}"
+                )
+            if "codegen" in names and "codegen-naive" in names:
+                raise ValueError(
+                    "'codegen' and 'codegen-naive' are mutually exclusive"
+                )
+            if "status-checks" in names and "codegen-naive" in names:
+                raise ValueError(
+                    "'status-checks' has no effect with 'codegen-naive' "
+                    "(the naive baseline always copies unconditionally)"
+                )
+            # normalize: canonical order, no duplicates (hash/eq friendly)
+            object.__setattr__(
+                self, "passes", tuple(n for n in PASS_ORDER if n in set(names))
+            )
+
+    @classmethod
+    def from_passes(cls, passes) -> "CompilerOptions":
+        """An options object for an explicit pass list (``level`` ignored)."""
+        return cls(passes=tuple(passes))
+
+    @property
+    def pass_names(self) -> tuple[str, ...]:
+        """The effective pass set, whichever way it was specified."""
+        if self.passes is not None:
+            return self.passes
+        return passes_for_level(self.level)
+
+    # -- derived flags (backward-compatible surface) -------------------------
 
     @property
     def naive(self) -> bool:
-        return self.level <= 0
+        return "codegen-naive" in self.pass_names
 
     @property
     def remove_useless(self) -> bool:
-        return self.level >= 1
+        return "remove-useless" in self.pass_names
 
     @property
     def status_checks(self) -> bool:
-        return self.level >= 1
+        return "status-checks" in self.pass_names
 
     @property
     def live_copies(self) -> bool:
-        return self.level >= 2
+        return "live-copies" in self.pass_names
 
     @property
     def motion(self) -> bool:
-        return self.level >= 3
+        return "motion" in self.pass_names
+
+    def describe(self) -> str:
+        """Human-readable spelling, for reports and logs."""
+        if self.passes is not None:
+            return "passes [" + ", ".join(self.passes) + "]"
+        return f"optimization level {self.level}"
 
 
 @dataclass
@@ -75,11 +182,19 @@ class CompiledSubroutine:
 
 @dataclass
 class CompiledProgram:
-    """All compiled subroutines plus shared metadata."""
+    """All compiled subroutines plus shared metadata.
+
+    Pipeline compilations additionally attach a per-pass :class:`PipelineTrace`
+    (wall time and counters) and an aggregated :class:`CompileReport`
+    (diagnostics, motion and removal summaries).  Both are ``None`` for
+    artifacts built by other means, so direct construction keeps working.
+    """
 
     program: ResolvedProgram
     subroutines: dict[str, CompiledSubroutine]
     options: CompilerOptions = field(default_factory=CompilerOptions)
+    trace: "PipelineTrace | None" = None
+    report: "CompileReport | None" = None
 
     def get(self, name: str) -> CompiledSubroutine:
         return self.subroutines[name]

@@ -1,26 +1,20 @@
-"""The compiler driver: runs the pass pipeline end to end."""
+"""The stable one-shot compile entry point.
+
+``compile_program`` is a thin backward-compatible wrapper over the pass
+pipeline (:mod:`repro.compiler.pipeline`): options desugar to a pass set,
+the :class:`~repro.compiler.pipeline.PassManager` assembles the pipeline,
+and the resulting :class:`~repro.compiler.artifacts.CompiledProgram`
+carries the per-pass trace and the aggregated compile report.  Repeated
+compile traffic should prefer :class:`~repro.compiler.session.CompilerSession`,
+which memoizes these artifacts.
+"""
 
 from __future__ import annotations
 
-from repro.compiler.artifacts import CompiledProgram, CompiledSubroutine, CompilerOptions
-from repro.ir.cfg import build_cfg
+from repro.compiler.artifacts import CompiledProgram, CompilerOptions
+from repro.compiler.pipeline import PassManager
 from repro.lang.ast_nodes import Program, Subroutine
-from repro.lang.parser import parse_program
-from repro.lang.semantics import resolve_program
 from repro.mapping.processors import ProcessorArrangement
-from repro.remap.codegen import generate_code
-from repro.remap.construction import build_remapping_graph
-from repro.remap.graph import RemappingGraph
-from repro.remap.livecopies import compute_live_copies
-from repro.remap.motion import MotionReport, hoist_loop_invariant_remaps
-from repro.remap.optimize import remove_useless_remappings
-
-
-def _pin_live_sets_to_leaving(graph: RemappingGraph) -> None:
-    """Without Appendix D, only the leaving copy itself is kept."""
-    for v in graph.vertices.values():
-        for a in v.S:
-            v.M[a] = v.leaving_set(a)
 
 
 def compile_program(
@@ -35,46 +29,7 @@ def compile_program(
     int means a 1-D arrangement of that many processors.
     """
     options = options or CompilerOptions()
-    if isinstance(source, str):
-        program = parse_program(source)
-    elif isinstance(source, Subroutine):
-        program = Program((source,))
-    else:
-        program = source
-
-    motion_reports: dict[str, MotionReport] = {}
-    if options.motion:
-        subs = []
-        for s in program.subroutines:
-            new_sub, report = hoist_loop_invariant_remaps(s)
-            motion_reports[s.name] = report
-            subs.append(new_sub)
-        program = Program(tuple(subs))
-
-    if isinstance(processors, int):
-        processors = ProcessorArrangement("P", (processors,))
-    resolved = resolve_program(program, bindings=bindings, default_processors=processors)
-
-    compiled: dict[str, CompiledSubroutine] = {}
-    for name, rsub in resolved.subroutines.items():
-        construction = build_remapping_graph(build_cfg(rsub), resolved)
-        graph = construction.graph
-        if options.remove_useless:
-            remove_useless_remappings(graph)
-        if options.live_copies:
-            compute_live_copies(graph)
-        else:
-            _pin_live_sets_to_leaving(graph)
-        code = generate_code(
-            construction,
-            optimize=not options.naive,
-            naive_always_copy=options.naive,
-        )
-        compiled[name] = CompiledSubroutine(
-            name=name,
-            sub=rsub,
-            construction=construction,
-            code=code,
-            motion=motion_reports.get(name, MotionReport()),
-        )
-    return CompiledProgram(resolved, compiled, options)
+    pipeline = PassManager.pipeline_for(options)
+    return pipeline.compile(
+        source, bindings=bindings, processors=processors, options=options
+    )

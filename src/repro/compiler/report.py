@@ -45,10 +45,20 @@ def subroutine_report(cs: CompiledSubroutine) -> str:
 
 def compilation_report(cp: CompiledProgram) -> str:
     header = [
-        f"compiled with optimization level {cp.options.level}",
+        f"compiled with {cp.options.describe()}",
         f"machine: {cp.processors}",
-        "",
     ]
+    if cp.report is not None:
+        for d in cp.report.warnings:
+            header.append(str(d))
+    if cp.trace is not None:
+        header.append(
+            "passes: "
+            + ", ".join(
+                f"{r.name} ({r.seconds * 1e3:.2f} ms)" for r in cp.trace.records
+            )
+        )
+    header.append("")
     return "\n".join(header) + "\n\n".join(
         subroutine_report(cs) for cs in cp.subroutines.values()
     )

@@ -1,0 +1,240 @@
+"""Compiler sessions: memoized compilation artifacts for repeated traffic.
+
+A :class:`CompilerSession` caches :class:`CompiledProgram` artifacts keyed
+by (source digest, bindings, processor arrangement, pass set) with an LRU
+bound and hit/miss/eviction statistics.  After the first compile of a
+source the session learns which binding names the compilation actually
+depends on (declaration extents; see
+:func:`~repro.compiler.diagnostics.compile_time_binding_names`), so
+runtime-only bindings -- loop bounds of declared scalars -- stop forcing
+recompiles.  A hit whose runtime-only bindings differ from the cached
+artifact's is served as a cheap wrapper with the caller's bindings (the
+expensive products are shared), so the ``compile_program`` contract --
+bindings given at compile time reach the executor's fallback -- holds.  A warm compile does *zero* parse
+or construction work -- the cached artifact is returned as-is, which the
+session's ``passes_run`` counter (it only advances on misses) and the
+artifact's :class:`~repro.compiler.pipeline.PipelineTrace` make verifiable.
+
+``session.run(...)`` additionally wires the simulated machine and executor,
+so the whole quickstart is three lines::
+
+    session = CompilerSession(processors=4)
+    result = session.run(SOURCE, bindings={"n": 64}, conditions={"c1": True})
+    print(result.stats.snapshot())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.compiler.artifacts import CompiledProgram, CompilerOptions
+from repro.compiler.pipeline import PassManager
+from repro.lang.ast_nodes import Program, Subroutine
+from repro.lang.printer import print_program, print_subroutine
+from repro.mapping.processors import ProcessorArrangement
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import ExecutionResult
+    from repro.spmd.machine import Machine
+
+#: Cache key: (source digest, sorted bindings, processors, pass names).
+SessionKey = tuple[str, tuple[tuple[str, int], ...], object, tuple[str, ...]]
+
+
+def _source_digest(source: str | Program | Subroutine) -> str:
+    """A stable content digest, computed without parsing."""
+    if isinstance(source, str):
+        text = source
+    elif isinstance(source, Subroutine):
+        text = print_subroutine(source)
+    elif isinstance(source, Program):
+        text = print_program(source)
+    else:
+        raise TypeError(f"cannot compile source of type {type(source)!r}")
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _with_bindings(
+    compiled: CompiledProgram, bindings: dict[str, int] | None
+) -> CompiledProgram:
+    """The artifact as if compiled with ``bindings``.
+
+    A cache hit may have different runtime-only bindings baked into its
+    resolved subroutines (the executor falls back to them for loop bounds),
+    so serving it verbatim would silently replay the *first* caller's
+    values.  The expensive products (construction, generated code) are
+    shared; only the subroutine wrappers are re-created.
+    """
+    bindings = dict(bindings or {})
+    if all(cs.sub.bindings == bindings for cs in compiled.subroutines.values()):
+        return compiled
+    resolved_subs = {}
+    subs = {}
+    for name, cs in compiled.subroutines.items():
+        new_sub = dataclasses.replace(cs.sub, bindings=dict(bindings))
+        resolved_subs[name] = new_sub
+        subs[name] = dataclasses.replace(cs, sub=new_sub)
+    program = dataclasses.replace(compiled.program, subroutines=resolved_subs)
+    return dataclasses.replace(compiled, program=program, subroutines=subs)
+
+
+class CompilerSession:
+    """A long-lived compile server front: artifact cache plus run helper.
+
+    ``processors`` and ``options`` given here are session defaults; each
+    ``compile``/``run`` call may override them.  ``max_entries`` bounds the
+    artifact cache (least-recently-used eviction).
+    """
+
+    def __init__(
+        self,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        max_entries: int = 128,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if isinstance(processors, int):
+            processors = ProcessorArrangement("P", (processors,))
+        self.processors = processors
+        self.options = options or CompilerOptions()
+        self.max_entries = max_entries
+        self._cache: OrderedDict[SessionKey, CompiledProgram] = OrderedDict()
+        # per-source-digest: binding names the compilation depends on;
+        # runtime-only bindings (loop bounds etc.) are excluded from keys
+        # once the first compile of a source has taught us which is which
+        self._binding_names: dict[str, frozenset[str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.passes_run = 0  # total pipeline passes executed (misses only)
+
+    # -- cache -------------------------------------------------------------
+
+    def _key(
+        self,
+        digest: str,
+        bindings: dict[str, int] | None,
+        processors: ProcessorArrangement | int | None,
+        options: CompilerOptions,
+    ) -> SessionKey:
+        if isinstance(processors, int):
+            proc_key: object = ("P", (processors,))
+        elif isinstance(processors, ProcessorArrangement):
+            proc_key = (processors.name, processors.shape)
+        else:
+            proc_key = None
+        items = (bindings or {}).items()
+        relevant = self._binding_names.get(digest)
+        if relevant is not None:
+            items = ((k, v) for k, v in items if k in relevant)
+        return (digest, tuple(sorted(items)), proc_key, options.pass_names)
+
+    def compile(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+    ) -> CompiledProgram:
+        """Compile through the cache; a warm hit does no compilation work."""
+        options = options or self.options
+        if processors is None:
+            processors = self.processors
+        digest = _source_digest(source)
+        key = self._key(digest, bindings, processors, options)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return _with_bindings(cached, bindings)
+        self.misses += 1
+        pipeline = PassManager.pipeline_for(options)
+        compiled = pipeline.compile(
+            source, bindings=bindings, processors=processors, options=options
+        )
+        if compiled.trace is not None:
+            self.passes_run += len(compiled.trace.records)
+        # learn which bindings this source actually compiles against, then
+        # store under the refined key so runtime-only bindings don't miss
+        if (
+            digest not in self._binding_names
+            and compiled.report is not None
+            and compiled.report.binding_names is not None
+        ):
+            self._binding_names[digest] = compiled.report.binding_names
+            key = self._key(digest, bindings, processors, options)
+        self._cache[key] = compiled
+        while len(self._cache) > self.max_entries:
+            evicted_key, _ = self._cache.popitem(last=False)
+            self.evictions += 1
+            # drop the digest's learned binding names once its last artifact
+            # is gone, so _binding_names stays bounded with the cache
+            digest_gone = evicted_key[0]
+            if not any(k[0] == digest_gone for k in self._cache):
+                self._binding_names.pop(digest_gone, None)
+        return compiled
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._binding_names.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> dict[str, object]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+            "passes_run": self.passes_run,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        source: str | Program | Subroutine,
+        entry: str | None = None,
+        *,
+        bindings: dict[str, int] | None = None,
+        conditions: dict | None = None,
+        inputs: dict | None = None,
+        kernels: dict | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        machine: "Machine | None" = None,
+        check_invariants: bool = False,
+        dtype=None,
+    ) -> "ExecutionResult":
+        """Compile (cached) and execute in one call.
+
+        ``bindings`` serve double duty, as compile-time extents and runtime
+        loop bounds, matching the established harness convention.  The
+        returned :class:`ExecutionResult` carries the machine (and its
+        traffic stats) used for the run.
+        """
+        import numpy as np
+
+        from repro.runtime.executor import ExecutionEnv, execute
+
+        compiled = self.compile(
+            source, bindings=bindings, processors=processors, options=options
+        )
+        env = ExecutionEnv(
+            conditions=conditions or {},
+            bindings=bindings or {},
+            kernels=kernels or {},
+            inputs=inputs or {},
+            check_invariants=check_invariants,
+            dtype=np.float64 if dtype is None else dtype,
+        )
+        return execute(compiled, entry=entry, machine=machine, env=env)

@@ -44,6 +44,10 @@ class SemanticError(ReproError):
     """Raised on name-resolution or directive legality violations."""
 
 
+class PipelineError(ReproError):
+    """Raised on an ill-formed pass pipeline (unmet inputs, bad order)."""
+
+
 # ---------------------------------------------------------------------------
 # mapping / layout errors
 # ---------------------------------------------------------------------------

@@ -41,6 +41,11 @@ from repro.lang.ast_nodes import Call, Kill, Realign, Redistribute, Stmt
 from repro.remap.construction import ConstructionResult
 from repro.remap.graph import GRVertex
 
+# declared pipeline interface (consumed by repro.compiler.pipeline)
+PASS_NAME = "codegen"
+PASS_REQUIRES = ("graph",)
+PASS_PROVIDES = ("code",)
+
 
 # ---------------------------------------------------------------------------
 # runtime ops
@@ -137,7 +142,7 @@ class GeneratedCode:
 
 
 def _vertex_ops(
-    v: GRVertex, optimize: bool, naive_always_copy: bool
+    v: GRVertex, optimize: bool, naive_always_copy: bool, status_checks: bool = True
 ) -> list[RuntimeOp]:
     """Fig. 19 inner loop: one RemapOp per remapped array with a leaving copy."""
     ops: list[RuntimeOp] = []
@@ -162,7 +167,7 @@ def _vertex_ops(
                 use=use,
                 keep=keep,
                 dead_values=optimize and a in v.dead_source,
-                check_status=not naive_always_copy,
+                check_status=status_checks and not naive_always_copy,
                 label=v.label,
             )
         )
@@ -173,8 +178,14 @@ def generate_code(
     res: ConstructionResult,
     optimize: bool = True,
     naive_always_copy: bool = False,
+    status_checks: bool = True,
 ) -> GeneratedCode:
-    """Generate the runtime ops for one compiled subroutine."""
+    """Generate the runtime ops for one compiled subroutine.
+
+    ``status_checks`` emits the Fig. 20 ``if status(A) != l`` guard; without
+    it every generated remapping copies unconditionally (the naive baseline
+    always disables it, matching ``CompilerOptions.status_checks``).
+    """
     code = GeneratedCode()
     graph = res.graph
     cfg = res.cfg
@@ -189,12 +200,12 @@ def generate_code(
         if node.kind in (NodeKind.CALLV, NodeKind.ENTRY):
             continue
         if node.kind is NodeKind.EXIT:
-            code.exit_ops.extend(_vertex_ops(v, optimize, naive_always_copy))
+            code.exit_ops.extend(_vertex_ops(v, optimize, naive_always_copy, status_checks))
             continue
         if node.kind is NodeKind.REMAP:
             assert isinstance(node.stmt, (Realign, Redistribute))
             code.before.setdefault(id(node.stmt), []).extend(
-                _vertex_ops(v, optimize, naive_always_copy)
+                _vertex_ops(v, optimize, naive_always_copy, status_checks)
             )
             continue
         if node.kind is NodeKind.CALL_BEFORE:
@@ -207,7 +218,7 @@ def generate_code(
             for a in sorted(v.S):
                 if va is not None and a in va.restore and a not in va.removed:
                     ops.append(SaveStatusOp(a, slot=f"reaching_{a}_{info.group}"))
-            ops.extend(_vertex_ops(v, optimize, naive_always_copy))
+            ops.extend(_vertex_ops(v, optimize, naive_always_copy, status_checks))
             continue
         if node.kind is NodeKind.CALL_AFTER:
             assert isinstance(node.stmt, Call) and node.call_group is not None
@@ -226,11 +237,11 @@ def generate_code(
                             possible=v.restore[a],
                             use=use,
                             keep=keep,
-                            check_status=not naive_always_copy,
+                            check_status=status_checks and not naive_always_copy,
                             label=v.label,
                         )
                     )
-            ops.extend(_vertex_ops(v, optimize, naive_always_copy))
+            ops.extend(_vertex_ops(v, optimize, naive_always_copy, status_checks))
             continue
 
     # kill statements poison values at run time (verification hook)

@@ -58,6 +58,11 @@ from repro.mapping.distribute import Distribution
 from repro.mapping.mapping import Mapping
 from repro.remap.graph import GRVertex, RemappingGraph, VersionTable
 
+# declared pipeline interface (consumed by repro.compiler.pipeline)
+PASS_NAME = "construction"
+PASS_REQUIRES = ("resolved",)
+PASS_PROVIDES = ("graph",)
+
 
 # ---------------------------------------------------------------------------
 # propagation state

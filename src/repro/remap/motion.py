@@ -50,8 +50,13 @@ from repro.lang.ast_nodes import (
     walk_statements,
 )
 
+# declared pipeline interface (consumed by repro.compiler.pipeline)
+PASS_NAME = "motion"
+PASS_REQUIRES = ("ast",)
+PASS_PROVIDES = ("motion",)
 
-def _alignment_families(sub: Subroutine) -> dict[str, frozenset[str]]:
+
+def alignment_families(sub: Subroutine) -> dict[str, frozenset[str]]:
     """Map each align-tree root (array or template name) to its whole family."""
     parent: dict[str, str] = {}
     for d in sub.decls:
@@ -102,7 +107,7 @@ class MotionReport:
 
 class _Mover:
     def __init__(self, sub: Subroutine, report: MotionReport):
-        self.families = _alignment_families(sub)
+        self.families = alignment_families(sub)
         self.report = report
 
     def family(self, target: str) -> frozenset[str]:

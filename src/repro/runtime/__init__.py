@@ -11,7 +11,7 @@ numerical results can be validated against sequential NumPy references
 while every remapping message is accounted.
 """
 
-from repro.runtime.executor import ExecutionEnv, ExecutionResult, Executor
+from repro.runtime.executor import ExecutionEnv, ExecutionResult, Executor, execute
 from repro.runtime.memory import MemoryManager
 from repro.runtime.status import ArrayRuntime
 
@@ -21,4 +21,5 @@ __all__ = [
     "ExecutionResult",
     "Executor",
     "MemoryManager",
+    "execute",
 ]

@@ -487,3 +487,26 @@ class Executor:
         for arg, dummy in zip(info.args, info.dummies):
             if callee.sub.arrays[dummy].intent in ("out", "inout"):
                 frame.arrays[arg].poisoned = callee_frame.arrays[dummy].poisoned
+
+
+# ---------------------------------------------------------------------------
+# session-driven execution
+# ---------------------------------------------------------------------------
+
+
+def execute(
+    compiled: CompiledProgram,
+    entry: str | None = None,
+    machine: Machine | None = None,
+    env: ExecutionEnv | None = None,
+) -> ExecutionResult:
+    """Run a compiled program in one call (the session API's backend).
+
+    ``entry`` defaults to the program's first subroutine; ``machine``
+    defaults to a fresh machine matching the compiled processor arrangement.
+    The machine stays reachable through ``result.machine``.
+    """
+    if entry is None:
+        entry = next(iter(compiled.subroutines))
+    machine = machine or Machine(compiled.processors)
+    return Executor(compiled, machine, env or ExecutionEnv()).run(entry)

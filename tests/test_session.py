@@ -1,0 +1,179 @@
+"""CompilerSession: artifact caching, key sensitivity, session-driven runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    CompilerSession,
+    ExecutionEnv,
+    Executor,
+    Machine,
+    compile_program,
+)
+from repro.apps.adi import adi_kernels, build_adi_program
+
+SRC = """
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute reads A
+!hpf$ redistribute A(cyclic)
+  compute writes A reads A
+!hpf$ redistribute A(block)
+  compute reads A
+end
+"""
+
+SRC2 = """
+subroutine other()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(cyclic)
+  compute reads A
+!hpf$ redistribute A(block)
+  compute reads A
+end
+"""
+
+
+def test_warm_compile_hits_cache_with_zero_pass_work():
+    s = CompilerSession(processors=4)
+    cold = s.compile(SRC, bindings={"n": 32})
+    assert s.stats["misses"] == 1 and s.stats["hits"] == 0
+    passes_after_cold = s.stats["passes_run"]
+    assert passes_after_cold == len(cold.trace.records) > 0
+
+    warm = s.compile(SRC, bindings={"n": 32})
+    assert warm is cold  # the artifact itself, not a recompile
+    assert s.stats["hits"] == 1
+    # zero parse/construction work on the warm path: no new pass records
+    assert s.stats["passes_run"] == passes_after_cold
+    assert s.stats["hit_rate"] == 0.5
+
+
+def test_runtime_only_bindings_do_not_recompile():
+    # `t` is a declared scalar (a runtime loop bound): after the cold
+    # compile teaches the session that only extents matter, varying `t`
+    # re-serves the same artifact
+    s = CompilerSession(processors=4)
+    prog = build_adi_program(16)
+    cold = s.compile(prog, bindings={"t": 2})
+    warm = s.compile(prog, bindings={"t": 5})
+    assert s.stats["hits"] == 1 and s.stats["misses"] == 1
+    # the expensive products are shared; only the binding wrapper differs,
+    # carrying the *current* caller's bindings for the executor fallback
+    assert warm.get("adi").code is cold.get("adi").code
+    assert warm.get("adi").construction is cold.get("adi").construction
+    assert warm.get("adi").sub.bindings["t"] == 5
+    assert cold.get("adi").sub.bindings["t"] == 2
+    assert s.compile(prog, bindings={"t": 2}) is cold  # exact match: verbatim
+    assert s.stats["hits"] == 2 and s.stats["misses"] == 1
+    # and the runs still honour the varying bound (2 vs 5 sweeps)
+    u0 = np.ones((16, 16))
+    r2 = s.run(prog, bindings={"t": 2}, kernels=adi_kernels(0.1), inputs={"u": u0})
+    r5 = s.run(prog, bindings={"t": 5}, kernels=adi_kernels(0.1), inputs={"u": u0})
+    assert not np.allclose(r2.value("u"), r5.value("u"))
+    assert s.stats["misses"] == 1  # still the one cold compile
+
+
+def test_cache_key_sensitivity():
+    s = CompilerSession(processors=4)
+    base = s.compile(SRC, bindings={"n": 32})
+    assert s.compile(SRC, bindings={"n": 64}) is not base  # bindings differ
+    assert s.compile(SRC2, bindings={"n": 32}) is not base  # source differs
+    assert s.compile(SRC, bindings={"n": 32}, processors=2) is not base
+    assert (
+        s.compile(SRC, bindings={"n": 32}, options=CompilerOptions(level=1))
+        is not base
+    )
+    # level=3 and its desugared pass list are the *same* key
+    assert (
+        s.compile(
+            SRC,
+            bindings={"n": 32},
+            options=CompilerOptions(passes=CompilerOptions(level=3).pass_names),
+        )
+        is base
+    )
+    assert s.stats["misses"] == 5 and s.stats["hits"] == 1
+
+
+def test_lru_eviction_bound():
+    s = CompilerSession(processors=4, max_entries=2)
+    s.compile(SRC, bindings={"n": 8})
+    s.compile(SRC, bindings={"n": 16})
+    s.compile(SRC, bindings={"n": 8})  # refresh: 8 is now most recent
+    s.compile(SRC, bindings={"n": 32})  # evicts 16
+    assert s.stats["evictions"] == 1
+    assert s.cache_size == 2
+    s.compile(SRC, bindings={"n": 8})  # still cached
+    assert s.stats["hits"] == 2
+    s.compile(SRC, bindings={"n": 16})  # was evicted: recompiles
+    assert s.stats["misses"] == 4
+
+
+def test_ast_sources_are_cacheable():
+    s = CompilerSession(processors=4)
+    prog = build_adi_program(16)
+    a = s.compile(prog)
+    b = s.compile(prog)
+    assert a is b and s.stats["hits"] == 1
+    # a structurally identical rebuild hits too (content digest, not id)
+    c = s.compile(build_adi_program(16))
+    assert c is a
+    assert s.compile(build_adi_program(32)) is not a
+
+
+def test_session_run_matches_manual_executor():
+    n = 16
+    u0 = np.arange(n * n, dtype=float).reshape(n, n)
+    s = CompilerSession(processors=4)
+    res = s.run(
+        build_adi_program(n),
+        bindings={"t": 2},
+        kernels=adi_kernels(0.1),
+        inputs={"u": u0},
+    )
+
+    compiled = compile_program(build_adi_program(n), processors=4)
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(bindings={"t": 2}, kernels=adi_kernels(0.1), inputs={"u": u0})
+    manual = Executor(compiled, machine, env).run("adi")
+
+    assert np.allclose(res.value("u"), manual.value("u"))
+    assert res.machine.stats.snapshot() == machine.stats.snapshot()
+
+
+def test_session_run_reuses_artifact_across_runs():
+    s = CompilerSession(processors=4)
+    n = 8
+    for _ in range(3):
+        r = s.run(
+            SRC.replace("main", "m1"),
+            bindings={"n": n},
+            inputs={"a": np.ones(n)},
+        )
+        assert r.stats.snapshot()["remaps_performed"] >= 1
+    assert s.stats["misses"] == 1 and s.stats["hits"] == 2
+
+
+def test_session_defaults_and_overrides():
+    s = CompilerSession(processors=4, options=CompilerOptions(level=0))
+    cp = s.compile(SRC, bindings={"n": 8})
+    assert cp.options.naive
+    cp3 = s.compile(SRC, bindings={"n": 8}, options=CompilerOptions(level=3))
+    assert not cp3.options.naive and cp3 is not cp
+
+
+def test_bad_session_arguments():
+    with pytest.raises(ValueError):
+        CompilerSession(max_entries=0)
+    s = CompilerSession(processors=4)
+    with pytest.raises(TypeError):
+        s.compile(12345)  # type: ignore[arg-type]
