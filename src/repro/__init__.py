@@ -18,8 +18,17 @@ Lower-level entry points: :func:`compile_program` (stable one-shot API) and
 :class:`~repro.compiler.pipeline.Pipeline`/:class:`~repro.compiler.pipeline.PassManager`
 for explicit control over the named passes (``parse``, ``motion``,
 ``resolve``, ``construction``, ``remove-useless``, ``live-copies``,
-``status-checks``, ``codegen``).  Every compiled artifact carries a
-per-pass :class:`PipelineTrace` and an aggregated :class:`CompileReport`.
+``status-checks``, ``codegen``, ``traffic-estimate``).  Every compiled
+artifact carries a per-pass :class:`PipelineTrace` and an aggregated
+:class:`CompileReport`.
+
+The ``motion`` pass is cost-guarded: candidate code motions are priced by
+an exact static traffic simulator under the machine's :class:`CostModel`
+(a compile option; see ``CompilerOptions(cost=...)``) and performed only
+when they can never move more bytes than the unmoved placement.
+:func:`predict_traffic` and ``result.observed_traffic()`` are the two
+halves of the traffic oracle relating predictions to executed ground
+truth.
 """
 
 from repro.compiler import (
@@ -47,7 +56,13 @@ from repro.mapping import (
     Template,
 )
 from repro.runtime import ExecutionEnv, ExecutionResult, Executor, execute
-from repro.spmd import CostModel, DistributedArray, Machine
+from repro.spmd import (
+    CostModel,
+    DistributedArray,
+    Machine,
+    TrafficEstimate,
+    predict_traffic,
+)
 
 __version__ = "1.1.0"
 
@@ -75,9 +90,11 @@ __all__ = [
     "ProcessorArrangement",
     "SubroutineBuilder",
     "Template",
+    "TrafficEstimate",
     "compilation_report",
     "compile_program",
     "execute",
     "passes_for_level",
+    "predict_traffic",
     "program",
 ]

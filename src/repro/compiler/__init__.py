@@ -3,13 +3,18 @@
 The pipeline mirrors the paper, one named pass per phase (canonical order):
 
 1. ``parse`` -- mini-HPF DSL front end (or accept a built AST);
-2. ``motion`` -- loop-invariant remapping motion (Fig. 16/17), level 3;
+2. ``motion`` -- loop-invariant remapping motion (Fig. 16/17), level 3,
+   cost-guarded by the machine model (``CompilerOptions.cost``): a sink is
+   performed only when the static traffic estimator proves it never moves
+   more bytes than the unmoved placement;
 3. ``resolve`` -- semantics (shapes, initial mappings, interfaces) + lint;
 4. ``construction`` -- CFG and remapping-graph construction (Appendix B);
 5. ``remove-useless`` -- useless remapping removal (Appendix C), level >= 1;
 6. ``live-copies`` -- dynamic live copies (Appendix D), level >= 2;
 7. ``status-checks`` -- runtime status guards on remappings, level >= 1;
-8. ``codegen`` / ``codegen-naive`` -- copy code generation (Fig. 19/20).
+8. ``codegen`` / ``codegen-naive`` -- copy code generation (Fig. 19/20);
+9. ``traffic-estimate`` (opt-in) -- per-subroutine predicted traffic
+   ranges over all branch/trip scenarios, recorded in the compile report.
 
 ``codegen-naive`` is level 0, the paper's baseline: every remapping
 directive is an unconditional copy with no status checks and no kept

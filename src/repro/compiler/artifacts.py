@@ -17,6 +17,7 @@ from repro.remap.codegen import GeneratedCode
 from repro.remap.construction import CallInfo, ConstructionResult
 from repro.remap.graph import RemappingGraph, VersionTable
 from repro.remap.motion import MotionReport
+from repro.spmd.cost import CostModel
 
 if TYPE_CHECKING:  # avoid cycles: pipeline/diagnostics import this module
     from repro.compiler.diagnostics import CompileReport
@@ -39,6 +40,7 @@ PASS_ORDER: tuple[str, ...] = (
     "status-checks",
     "codegen",
     "codegen-naive",
+    "traffic-estimate",
 )
 
 #: Passes every complete compilation needs (front end through codegen).
@@ -85,10 +87,18 @@ class CompilerOptions:
 
     ``passes``, when given, overrides ``level`` entirely; the names must be
     drawn from :data:`PASS_ORDER` and are run in canonical order.
+
+    ``cost`` supplies the machine's communication cost model.  It is a
+    *compile-relevant* knob: the motion pass consults it to decide whether
+    a remapping sink can pay for its status check, so two compilations with
+    different cost models may produce different code (and must not share
+    cached artifacts -- :class:`~repro.compiler.session.CompilerSession`
+    keys on it).
     """
 
     level: int = 3
     passes: tuple[str, ...] | None = None
+    cost: CostModel = CostModel()
 
     def __post_init__(self) -> None:
         if self.passes is not None:
@@ -149,8 +159,12 @@ class CompilerOptions:
     def describe(self) -> str:
         """Human-readable spelling, for reports and logs."""
         if self.passes is not None:
-            return "passes [" + ", ".join(self.passes) + "]"
-        return f"optimization level {self.level}"
+            base = "passes [" + ", ".join(self.passes) + "]"
+        else:
+            base = f"optimization level {self.level}"
+        if self.cost != CostModel():
+            base += f" with {self.cost}"
+        return base
 
 
 @dataclass

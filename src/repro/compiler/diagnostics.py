@@ -33,6 +33,7 @@ from repro.remap.optimize import RemovalReport
 
 if TYPE_CHECKING:
     from repro.compiler.pipeline import PipelineTrace
+    from repro.spmd.traffic import TrafficRange
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,9 @@ class CompileReport:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     motion: dict[str, MotionReport] = field(default_factory=dict)
     removal: dict[str, RemovalReport] = field(default_factory=dict)
+    #: per-subroutine predicted traffic over the runtime-unknown scenario
+    #: space, filled by the ``traffic-estimate`` pass when it runs
+    traffic: dict[str, "TrafficRange"] = field(default_factory=dict)
     trace: "PipelineTrace | None" = None
     #: binding names the *compilation* depends on (see
     #: :func:`compile_time_binding_names`); ``None`` = unknown, assume all
@@ -88,14 +92,26 @@ class CompileReport:
         """Loop-invariant remappings sunk, summed over all subroutines."""
         return sum(r.count for r in self.motion.values())
 
+    @property
+    def motion_rejected_count(self) -> int:
+        """Legal sinks the cost guard refused, summed over all subroutines."""
+        return sum(r.rejected_count for r in self.motion.values())
+
     def summary(self) -> str:
         lines = [
             f"diagnostics: {len(self.warnings)} warning(s)",
             f"useless remappings removed: {self.removed_count}",
-            f"loop-invariant remappings sunk: {self.motion_count}",
+            f"loop-invariant remappings sunk: {self.motion_count}"
+            + (
+                f" ({self.motion_rejected_count} rejected by the cost guard)"
+                if self.motion_rejected_count
+                else ""
+            ),
         ]
         for d in self.diagnostics:
             lines.append(f"  {d}")
+        for name, rng in sorted(self.traffic.items()):
+            lines.append(f"predicted traffic [{name}]: {rng.describe()}")
         if self.trace is not None:
             lines.append(self.trace.summary())
         return "\n".join(lines)

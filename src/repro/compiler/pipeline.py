@@ -42,7 +42,7 @@ from repro.compiler.diagnostics import (
 )
 from repro.errors import PipelineError
 from repro.ir.cfg import build_cfg
-from repro.lang.ast_nodes import Program, Subroutine
+from repro.lang.ast_nodes import Call, Program, Subroutine, walk_statements
 from repro.lang.parser import parse_program
 from repro.lang.semantics import ResolvedProgram, resolve_program
 from repro.mapping.processors import ProcessorArrangement
@@ -53,10 +53,12 @@ from repro.remap import motion as motion_mod
 from repro.remap import optimize as optimize_mod
 from repro.remap.codegen import GeneratedCode, generate_code
 from repro.remap.construction import ConstructionResult, build_remapping_graph
+from repro.remap.costguard import CostGuard, GuardFlags
 from repro.remap.graph import RemappingGraph
 from repro.remap.livecopies import compute_live_copies
 from repro.remap.motion import MotionReport, hoist_loop_invariant_remaps
 from repro.remap.optimize import remove_useless_remappings
+from repro.spmd.traffic import estimate_range
 
 
 # ---------------------------------------------------------------------------
@@ -180,21 +182,60 @@ class ParsePass:
 
 
 class MotionPass:
-    """Loop-invariant remapping motion (paper Fig. 16/17), AST to AST."""
+    """Loop-invariant remapping motion (paper Fig. 16/17), AST to AST.
+
+    Cost-guarded: when the surrounding pipeline can generate code, every
+    candidate sink is priced by :class:`~repro.remap.costguard.CostGuard`
+    against the unmoved placement under ``ctx.options.cost`` and performed
+    only if it never moves more bytes ("level 3 never loses to naive" is
+    enforced by construction, not hoped for).  Rejected candidates surface
+    as ``note`` diagnostics and in :attr:`MotionReport.rejected`.
+    """
 
     name = motion_mod.PASS_NAME
     requires = motion_mod.PASS_REQUIRES
     provides = motion_mod.PASS_PROVIDES
 
+    @staticmethod
+    def _guard(ctx: PassContext) -> CostGuard | None:
+        names = set(ctx.options.pass_names)
+        codegen_able = "codegen" in names or "codegen-naive" in names
+        if not ({"resolve", "construction"} <= names and codegen_able):
+            return None  # partial pipeline: nothing executable to price
+        return CostGuard(
+            bindings=ctx.bindings,
+            processors=ctx.processors,
+            flags=GuardFlags(
+                remove_useless="remove-useless" in names,
+                live_copies="live-copies" in names,
+                status_checks="status-checks" in names,
+                naive="codegen-naive" in names,
+            ),
+            cost=ctx.options.cost,
+        )
+
     def run(self, ctx: PassContext) -> dict[str, int]:
         assert ctx.program is not None
-        subs = []
+        guard = self._guard(ctx)
+        program = ctx.program
         for s in ctx.program.subroutines:
-            new_sub, report = hoist_loop_invariant_remaps(s)
+            new_sub, report = hoist_loop_invariant_remaps(
+                s, guard=guard, program=program
+            )
             ctx.report.motion[s.name] = report
-            subs.append(new_sub)
-        ctx.program = Program(tuple(subs))
-        return {"sunk": sum(r.count for r in ctx.report.motion.values())}
+            program = program.with_subroutine(new_sub)
+            for rej in report.rejected:
+                ctx.report.add(
+                    "note",
+                    f"motion rejected by cost guard: {rej}",
+                    subroutine=s.name,
+                    pass_name=self.name,
+                )
+        ctx.program = program
+        return {
+            "sunk": sum(r.count for r in ctx.report.motion.values()),
+            "rejected": sum(r.rejected_count for r in ctx.report.motion.values()),
+        }
 
 
 class ResolvePass:
@@ -289,13 +330,6 @@ class CodegenPass:
         self.naive = naive
         self.name = "codegen-naive" if naive else codegen_mod.PASS_NAME
 
-    @staticmethod
-    def _pin_live_sets_to_leaving(graph: RemappingGraph) -> None:
-        """Without Appendix D, only the leaving copy itself is kept."""
-        for v in graph.vertices.values():
-            for a in v.S:
-                v.M[a] = v.leaving_set(a)
-
     def run(self, ctx: PassContext) -> dict[str, int]:
         if self.naive and ctx.status_checks:
             raise PipelineError(
@@ -305,7 +339,7 @@ class CodegenPass:
         ops = 0
         for name, res in ctx.constructions.items():
             if "live-copies" not in ctx.ran:
-                self._pin_live_sets_to_leaving(res.graph)
+                codegen_mod.pin_live_sets_to_leaving(res.graph)
             code = generate_code(
                 res,
                 optimize=not self.naive,
@@ -315,6 +349,57 @@ class CodegenPass:
             ctx.codes[name] = code
             ops += len(code.all_ops())
         return {"ops": ops}
+
+
+class TrafficEstimatePass:
+    """Predict each subroutine's communication over its runtime unknowns.
+
+    Runs the exact static traffic simulator (:mod:`repro.spmd.traffic`)
+    over every branch-outcome/trip-count/input scenario (deterministically
+    subsampled beyond a cap), records the per-subroutine best/worst
+    :class:`~repro.spmd.traffic.TrafficRange` in the compile report, and
+    publishes aggregate predictions as trace counters so compilations can
+    be compared without executing anything.
+    """
+
+    name = "traffic-estimate"
+    requires: tuple[str, ...] = ("graph", "code")
+    provides: tuple[str, ...] = ("traffic",)
+
+    def __init__(self, max_scenarios: int = 96):
+        self.max_scenarios = max_scenarios
+
+    def run(self, ctx: PassContext) -> dict[str, int]:
+        assert ctx.program is not None
+        # a range simulated from a subroutine already includes its callees'
+        # traffic, so the aggregate counters sum over *entry* subroutines
+        # only (ones no other subroutine calls) to avoid double-counting
+        called = {
+            s.callee
+            for sub in ctx.program.subroutines
+            for s in walk_statements(sub.body)
+            if isinstance(s, Call)
+        }
+        bytes_hi = messages_hi = scenario_total = 0
+        for name in ctx.constructions:
+            rng = estimate_range(
+                ctx.constructions,
+                ctx.codes,
+                name,
+                bindings=ctx.bindings,
+                max_scenarios=self.max_scenarios,
+            )
+            ctx.report.traffic[name] = rng
+            scenario_total += rng.scenarios
+            if name not in called:
+                bytes_hi += rng.hi.bytes
+                messages_hi += rng.hi.messages
+        return {
+            "subroutines": len(ctx.constructions),
+            "scenarios": scenario_total,
+            "predicted_bytes_max": bytes_hi,
+            "predicted_messages_max": messages_hi,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -453,6 +538,7 @@ class PassManager:
         "status-checks": StatusChecksPass,
         "codegen": lambda: CodegenPass(naive=False),
         "codegen-naive": lambda: CodegenPass(naive=True),
+        "traffic-estimate": TrafficEstimatePass,
     }
 
     @classmethod

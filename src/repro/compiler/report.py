@@ -37,6 +37,10 @@ def subroutine_report(cs: CompiledSubroutine) -> str:
         lines.append("loop-invariant remappings sunk:")
         for s in cs.motion.sunk:
             lines.append(f"  {s}")
+    if cs.motion.rejected_count:
+        lines.append("loop-invariant motion rejected by the cost guard:")
+        for r in cs.motion.rejected:
+            lines.append(f"  {r}")
 
     lines.append("\ngenerated copy code:")
     lines.append(render_code(cs.code))

@@ -1,8 +1,8 @@
 """Compiler sessions: memoized compilation artifacts for repeated traffic.
 
 A :class:`CompilerSession` caches :class:`CompiledProgram` artifacts keyed
-by (source digest, bindings, processor arrangement, pass set) with an LRU
-bound and hit/miss/eviction statistics.  After the first compile of a
+by (source digest, bindings, processor arrangement, pass set, cost model)
+with an LRU bound and hit/miss/eviction statistics.  After the first compile of a
 source the session learns which binding names the compilation actually
 depends on (declaration extents; see
 :func:`~repro.compiler.diagnostics.compile_time_binding_names`), so
@@ -40,8 +40,11 @@ if TYPE_CHECKING:
     from repro.runtime.executor import ExecutionResult
     from repro.spmd.machine import Machine
 
-#: Cache key: (source digest, sorted bindings, processors, pass names).
-SessionKey = tuple[str, tuple[tuple[str, int], ...], object, tuple[str, ...]]
+#: Cache key: (source digest, sorted bindings, processors, pass names,
+#: cost model).  The cost model is compile-relevant: the motion pass makes
+#: different code-motion decisions under different machine parameters, so
+#: sessions must never serve an artifact compiled for another machine model.
+SessionKey = tuple[str, tuple[tuple[str, int], ...], object, tuple[str, ...], object]
 
 
 def _source_digest(source: str | Program | Subroutine) -> str:
@@ -131,7 +134,7 @@ class CompilerSession:
         relevant = self._binding_names.get(digest)
         if relevant is not None:
             items = ((k, v) for k, v in items if k in relevant)
-        return (digest, tuple(sorted(items)), proc_key, options.pass_names)
+        return (digest, tuple(sorted(items)), proc_key, options.pass_names, options.cost)
 
     def compile(
         self,

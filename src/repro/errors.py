@@ -91,6 +91,11 @@ class MultipleLeavingMappingsError(RestrictionError):
 # ---------------------------------------------------------------------------
 
 
+class TrafficPredictionError(ReproError):
+    """The static traffic estimator could not simulate a program (missing
+    runtime values, or a divergence between prediction and compiled code)."""
+
+
 class RuntimeRemapError(ReproError):
     """Base class for errors raised while executing compiled programs."""
 

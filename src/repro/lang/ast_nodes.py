@@ -215,6 +215,12 @@ class Program:
                 return s
         raise KeyError(name)
 
+    def with_subroutine(self, sub: Subroutine) -> "Program":
+        """This program with the same-named subroutine replaced by ``sub``."""
+        return Program(
+            tuple(sub if s.name == sub.name else s for s in self.subroutines)
+        )
+
 
 def walk_statements(block: Block):
     """Yield every statement in a block, recursing into structured bodies."""

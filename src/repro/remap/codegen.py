@@ -174,6 +174,17 @@ def _vertex_ops(
     return ops
 
 
+def pin_live_sets_to_leaving(graph) -> None:
+    """Without Appendix D (live-copies), only the leaving copy is kept.
+
+    Shared by the pipeline's codegen pass and the motion cost guard so both
+    price exactly the same generated code when live-copies is disabled.
+    """
+    for v in graph.vertices.values():
+        for a in v.S:
+            v.M[a] = v.leaving_set(a)
+
+
 def generate_code(
     res: ConstructionResult,
     optimize: bool = True,

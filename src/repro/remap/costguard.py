@@ -1,0 +1,260 @@
+"""The cost guard: accept a remapping motion only when it cannot lose.
+
+The motion pass (Fig. 16/17) is a heuristic: sinking a trailing loop-body
+remapping usually turns ``2t`` dynamic remappings into ``2``, but on
+adversarial programs the moved statement can land where a branch-local
+reference keeps it alive while the unmoved one was removable -- a real
+phase-ordering effect with useless-remapping removal (Appendix C) that can
+make "optimized" traffic *exceed* the naive placement (the seed-2558
+counter-example tracked in ROADMAP.md).
+
+:class:`CostGuard` closes the hole by construction.  For every candidate
+sink it compiles both placements through the downstream passes the active
+pipeline will actually run, then prices both with the exact static traffic
+simulator (:mod:`repro.spmd.traffic`) over the whole runtime-unknown
+scenario space -- every branch-outcome assignment, zero/one/many trip
+counts for every *symbolic* loop bound (even ones this compile's bindings
+pin: compiled artifacts are cached and reused across runtime bound values,
+so the decision must hold for all of them), inputs present or absent.
+Constant loop bounds are simulated exactly.  The sink is accepted only if
+
+* it never moves more message bytes than the unmoved placement in *any*
+  scenario (the per-execution monotonicity the soundness property asserts),
+  and
+* the aggregate :meth:`~repro.spmd.cost.CostModel.compare` decision over
+  the scenario space favours it under the machine's cost parameters --
+  so a machine with expensive status checks simply keeps the naive
+  placement ("pay only when the status check can pay off").
+
+Scope of the proof: branch outcomes are priced as fixed per run (the
+soundness property space; the runtime's per-iteration condition
+*sequences* are not enumerated -- that space is unbounded), symbolic trip
+counts are sampled at the structural zero/one/many cases, and a scenario
+grid too large to enumerate exhaustively rejects the sink rather than
+checking a fraction of it.  Constant-bound, fixed-outcome programs -- the
+entire generated-workload space -- are priced exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.lang.ast_nodes import Call, Program, Subroutine, walk_statements
+from repro.lang.printer import print_subroutine
+from repro.lang.semantics import resolve_program
+from repro.ir.cfg import build_cfg
+from repro.mapping.processors import ProcessorArrangement
+from repro.remap.codegen import GeneratedCode, generate_code, pin_live_sets_to_leaving
+from repro.remap.construction import ConstructionResult, build_remapping_graph
+from repro.remap.livecopies import compute_live_copies
+from repro.remap.optimize import remove_useless_remappings
+from repro.spmd.cost import CostModel, TrafficEstimate
+from repro.spmd.traffic import Scenario, enumerate_scenarios, simulate_traffic
+
+
+@dataclass(frozen=True)
+class GuardFlags:
+    """Which downstream passes the active pipeline runs after motion."""
+
+    remove_useless: bool = True
+    live_copies: bool = True
+    status_checks: bool = True
+    naive: bool = False
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    """One guarded motion decision, with its estimated cost delta."""
+
+    hoist: bool
+    delta_bytes: int  # aggregate over scenarios; negative = the sink saves
+    delta_time: float
+    scenarios: int
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "sink" if self.hoist else "reject"
+        return (
+            f"{verdict} (delta {self.delta_bytes:+d} B over "
+            f"{self.scenarios} scenario(s)): {self.reason}"
+        )
+
+
+class CostGuard:
+    """Decides candidate remapping motions with the communication cost model.
+
+    ``bindings``/``processors`` are the compile-time values the surrounding
+    pipeline resolves with; ``flags`` selects the downstream passes so the
+    comparison prices exactly the code that will be generated; ``cost`` is
+    the machine model consulted for the final decision.
+    """
+
+    def __init__(
+        self,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        flags: GuardFlags | None = None,
+        cost: CostModel | None = None,
+        max_scenarios: int = 96,
+        itemsize: int = 8,
+    ):
+        if isinstance(processors, int):
+            processors = ProcessorArrangement("P", (processors,))
+        self.bindings = dict(bindings or {})
+        self.processors = processors
+        self.flags = flags or GuardFlags()
+        self.cost = cost or CostModel()
+        self.max_scenarios = max_scenarios
+        self.itemsize = itemsize
+        # placement pricing memo: across the accept/reject iteration the
+        # "current" variant of one sink is the "candidate" of the previous,
+        # so each variant is compiled and simulated exactly once
+        self._pricing: dict[str, "_Pricing"] = {}
+        self._program_ref: Program | None = None
+
+    # -- downstream compilation (mirrors the pipeline after motion) ---------
+
+    @staticmethod
+    def _reachable(program: Program, entry: str) -> set[str]:
+        """Subroutines the simulation from ``entry`` can ever enter."""
+        seen: set[str] = set()
+        work = [entry]
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            try:
+                sub = program.get(name)
+            except KeyError:
+                continue
+            work.extend(
+                s.callee for s in walk_statements(sub.body) if isinstance(s, Call)
+            )
+        return seen
+
+    def _compile_variant(
+        self, program: Program, entry: str
+    ) -> tuple[dict[str, ConstructionResult], dict[str, GeneratedCode]]:
+        resolved = resolve_program(
+            program, bindings=self.bindings, default_processors=self.processors
+        )
+        # graph construction and codegen are the expensive phases: run them
+        # only for subroutines the priced simulation can actually enter
+        reachable = self._reachable(program, entry)
+        constructions: dict[str, ConstructionResult] = {}
+        codes: dict[str, GeneratedCode] = {}
+        for name, rsub in resolved.subroutines.items():
+            if name not in reachable:
+                continue
+            res = build_remapping_graph(build_cfg(rsub), resolved)
+            if self.flags.remove_useless:
+                remove_useless_remappings(res.graph)
+            if self.flags.live_copies:
+                compute_live_copies(res.graph)
+            else:
+                pin_live_sets_to_leaving(res.graph)
+            constructions[name] = res
+            codes[name] = generate_code(
+                res,
+                optimize=not self.flags.naive,
+                naive_always_copy=self.flags.naive,
+                status_checks=self.flags.status_checks and not self.flags.naive,
+            )
+        return constructions, codes
+
+    # -- pricing ------------------------------------------------------------
+
+    def _price(self, program: Program, sub: Subroutine) -> "_Pricing":
+        """Compile one placement and simulate it over the full scenario grid.
+
+        ``require_exhaustive``: a subsampled grid cannot *prove* a placement
+        safe, so an oversized scenario space rejects the motion instead of
+        silently checking a fraction of it.  ``pin_bound_trips=False``:
+        compile bindings of loop bounds are runtime inputs that cached
+        artifacts outlive, so the decision must hold for any bound value,
+        not just this compile's.
+        """
+        key = print_subroutine(sub)
+        cached = self._pricing.get(key)
+        if cached is not None:
+            return cached
+        constructions, codes = self._compile_variant(
+            program.with_subroutine(sub), sub.name
+        )
+        scenarios = enumerate_scenarios(
+            constructions,
+            sub.name,
+            bindings=self.bindings,
+            pin_bound_trips=False,
+            max_scenarios=self.max_scenarios,
+            require_exhaustive=True,
+            itemsize=self.itemsize,
+        )
+        estimates = [
+            simulate_traffic(constructions, codes, sub.name, sc) for sc in scenarios
+        ]
+        total = TrafficEstimate.zero()
+        for est in estimates:
+            total = total + est
+        pricing = _Pricing(scenarios, estimates, total)
+        self._pricing[key] = pricing
+        return pricing
+
+    # -- the decision -------------------------------------------------------
+
+    def evaluate(
+        self,
+        program: Program,
+        base_sub: Subroutine,
+        candidate_sub: Subroutine,
+        description: str = "",
+    ) -> GuardDecision:
+        """Compare the candidate (one more sink) against the current state.
+
+        Any failure to compile, enumerate exhaustively, or simulate a
+        variant rejects the candidate: the guard only moves code it can
+        prove does not pay more.  Programming errors are not swallowed --
+        only the package's own :class:`~repro.errors.ReproError` family
+        counts as "cannot price this".
+        """
+        if self._program_ref is not program:
+            self._pricing.clear()
+            self._program_ref = program
+        try:
+            base = self._price(program, base_sub)
+            cand = self._price(program, candidate_sub)
+            if len(base.scenarios) != len(cand.scenarios):  # pragma: no cover
+                raise ReproError(
+                    "scenario grids of the two placements diverged "
+                    f"({len(base.scenarios)} vs {len(cand.scenarios)})"
+                )
+            for sc, b, c in zip(base.scenarios, base.estimates, cand.estimates):
+                if c.bytes > b.bytes:
+                    return GuardDecision(
+                        False,
+                        c.bytes - b.bytes,
+                        self.cost.time(c) - self.cost.time(b),
+                        len(base.scenarios),
+                        f"loses to the unmoved placement on {sc.describe()}",
+                    )
+        except ReproError as exc:  # cannot price it: keep the naive placement
+            return GuardDecision(False, 0, 0.0, 0, f"not estimable: {exc}")
+        decision = self.cost.compare(base.total, cand.total)
+        return GuardDecision(
+            decision.hoist,
+            decision.delta_bytes,
+            decision.delta_time,
+            len(base.scenarios),
+            decision.reason,
+        )
+
+
+@dataclass(frozen=True)
+class _Pricing:
+    """One placement's compiled cost: per-scenario and aggregate traffic."""
+
+    scenarios: list[Scenario]
+    estimates: list[TrafficEstimate]
+    total: TrafficEstimate

@@ -28,6 +28,16 @@ array aligned with ``A`` (paper Fig. 3), so the legality scan covers the
 whole declared alignment family, and the pass conservatively refuses to
 move anything in subroutines that also use ``realign`` (which changes
 families dynamically).
+
+Legality is not profitability: on adversarial programs a legal sink can
+*increase* traffic (it may land where a branch-local reference keeps it
+alive while the unmoved remapping was removable).  When a cost guard is
+supplied (any object with ``evaluate(program, base_sub, candidate_sub,
+description) -> decision``; see :class:`repro.remap.costguard.CostGuard`),
+each candidate sink is priced against the unmoved placement and performed
+only if it never pays more; rejected candidates are recorded in
+:attr:`MotionReport.rejected` with their estimated cost delta.  Without a
+guard the pass keeps its legacy legality-only behaviour.
 """
 
 from __future__ import annotations
@@ -96,19 +106,79 @@ def _references(s: Stmt, names: frozenset[str]) -> bool:
     return False
 
 
+@dataclass(frozen=True)
+class RejectedHoist:
+    """A legal sink the cost guard refused, with its estimated delta."""
+
+    description: str
+    delta_bytes: int  # estimated candidate bytes - unmoved bytes
+    delta_time: float  # modelled seconds, same sign convention
+    reason: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.description} rejected "
+            f"(estimated {self.delta_bytes:+d} B): {self.reason}"
+        )
+
+
 @dataclass
 class MotionReport:
     sunk: list[str] = field(default_factory=list)  # descriptions, for reports
+    rejected: list[RejectedHoist] = field(default_factory=list)
 
     @property
     def count(self) -> int:
         return len(self.sunk)
 
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+
+class _DecisionScript:
+    """Replays sink decisions; optionally probes one extra opportunity.
+
+    The mover is deterministic, so a boolean per sink opportunity (in
+    encounter order) fully determines the transform.  ``probe=True`` lets
+    exactly one opportunity beyond the scripted prefix through -- producing
+    the "current state plus one more sink" candidate the guard prices.
+    """
+
+    def __init__(self, decisions: list[bool] | None = None, probe: bool = False):
+        self.decisions = list(decisions or [])
+        self.probe = probe
+        self.index = 0
+        self.probe_description: str | None = None
+
+    def next(self, description: str) -> bool:
+        i = self.index
+        self.index += 1
+        if i < len(self.decisions):
+            return self.decisions[i]
+        if self.probe and self.probe_description is None:
+            self.probe_description = description
+            return True
+        return False
+
+
+class _AcceptAll(_DecisionScript):
+    """Legacy unguarded behaviour: every legal sink is performed."""
+
+    def next(self, description: str) -> bool:
+        return True
+
 
 class _Mover:
-    def __init__(self, sub: Subroutine, report: MotionReport):
+    def __init__(
+        self,
+        sub: Subroutine,
+        report: MotionReport,
+        script: _DecisionScript | None = None,
+    ):
         self.families = alignment_families(sub)
         self.report = report
+        self.script = script or _AcceptAll()
 
     def family(self, target: str) -> frozenset[str]:
         return self.families.get(target, frozenset({target}))
@@ -175,34 +245,88 @@ class _Mover:
                 break
             if any(isinstance(x, Redistribute) and x.target == last.target for x in sunk):
                 break  # only one sunk remapping per target
+            description = f"do {s.var}: sunk redistribute of {last.target}"
+            if not self.script.next(description):
+                break  # the cost guard keeps the naive placement
             stmts.pop()
             sunk.insert(0, last)
-            self.report.sunk.append(f"do {s.var}: sunk redistribute of {last.target}")
+            self.report.sunk.append(description)
         return [Do(s.var, s.lo, s.hi, Block(tuple(stmts))), *sunk]
 
 
-def hoist_loop_invariant_remaps(sub: Subroutine) -> tuple[Subroutine, MotionReport]:
+def _apply_script(
+    sub: Subroutine, decisions: list[bool], probe: bool
+) -> tuple[Subroutine, MotionReport, str | None]:
+    """One deterministic mover run under a scripted decision prefix."""
+    report = MotionReport()
+    script = _DecisionScript(decisions, probe=probe)
+    mover = _Mover(sub, report, script)
+    new_sub = Subroutine(sub.name, sub.params, sub.decls, mover.transform_block(sub.body))
+    return new_sub, report, script.probe_description
+
+
+def hoist_loop_invariant_remaps(
+    sub: Subroutine,
+    guard=None,
+    program: Program | None = None,
+) -> tuple[Subroutine, MotionReport]:
     """Sink trailing loop-body remappings after their loops (Fig. 16 -> 17).
 
     Conservative: subroutines containing ``realign`` are left untouched,
     because realignment changes alignment families dynamically and the
     declared-family legality scan would be unsound.
+
+    With a cost ``guard``, candidate sinks are performed one at a time and
+    each is priced against the current placement (``program`` supplies the
+    surrounding subroutines for interface resolution; it defaults to the
+    subroutine alone).  A rejected candidate keeps the naive placement and
+    is recorded in :attr:`MotionReport.rejected` with its estimated delta.
     """
-    report = MotionReport()
     if any(isinstance(s, Realign) for s in walk_statements(sub.body)):
-        return sub, report
-    mover = _Mover(sub, report)
-    return (
-        Subroutine(sub.name, sub.params, sub.decls, mover.transform_block(sub.body)),
-        report,
-    )
+        return sub, MotionReport()
+    if guard is None:
+        report = MotionReport()
+        mover = _Mover(sub, report)
+        return (
+            Subroutine(sub.name, sub.params, sub.decls, mover.transform_block(sub.body)),
+            report,
+        )
+
+    if program is None:
+        program = Program((sub,))
+    report = MotionReport()
+    decisions: list[bool] = []
+    current, _, _ = _apply_script(sub, decisions, probe=False)
+    while True:
+        candidate, _, description = _apply_script(sub, decisions, probe=True)
+        if description is None:
+            break  # no further legal sink opportunity
+        decision = guard.evaluate(program, current, candidate, description)
+        if decision.hoist:
+            decisions.append(True)
+            current = candidate
+            report.sunk.append(description)
+        else:
+            decisions.append(False)
+            report.rejected.append(
+                RejectedHoist(
+                    description,
+                    decision.delta_bytes,
+                    decision.delta_time,
+                    decision.reason,
+                )
+            )
+    return current, report
 
 
-def transform_program(program: Program) -> tuple[Program, MotionReport]:
+def transform_program(
+    program: Program, guard=None
+) -> tuple[Program, MotionReport]:
     total = MotionReport()
-    subs = []
+    current = program
     for s in program.subroutines:
-        new_sub, rep = hoist_loop_invariant_remaps(s)
+        new_sub, rep = hoist_loop_invariant_remaps(s, guard=guard, program=current)
         total.sunk.extend(rep.sunk)
-        subs.append(new_sub)
-    return Program(tuple(subs)), total
+        total.rejected.extend(rep.rejected)
+        current = current.with_subroutine(new_sub)
+    return current, total

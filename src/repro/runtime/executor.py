@@ -15,7 +15,11 @@ Verification hooks:
 * ``check_invariants=True`` additionally verifies after every remapping
   that all live copies of an array hold identical values;
 * values killed by the kill directive are poisoned (NaN) when a remapping
-  elides their communication, so any read-after-kill is observable.
+  elides their communication, so any read-after-kill is observable;
+* :meth:`ExecutionResult.observed_traffic` is the runtime half of the
+  traffic oracle: the actually measured bytes/messages as a
+  :class:`~repro.spmd.cost.TrafficEstimate`, directly comparable with the
+  compile-time prediction of :func:`repro.spmd.traffic.predict_traffic`.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ from repro.remap.codegen import (
 )
 from repro.runtime.memory import MemoryManager
 from repro.runtime.status import ArrayRuntime
+from repro.spmd.cost import TrafficEstimate
 from repro.spmd.machine import Machine
 from repro.spmd.redistribution import redistribute
 
@@ -196,6 +201,22 @@ class ExecutionResult:
 
     def poisoned(self, name: str) -> bool:
         return self._frame.arrays[name].poisoned
+
+    def observed_traffic(self) -> TrafficEstimate:
+        """The run's measured traffic, shaped like a compile-time estimate.
+
+        This is the runtime half of the traffic oracle: tests compare it
+        against :func:`repro.spmd.traffic.predict_traffic` to hold the
+        static estimator to the executor's ground truth.
+        """
+        s = self.stats
+        return TrafficEstimate(
+            bytes=s.bytes,
+            messages=s.messages,
+            local_bytes=s.local_bytes,
+            local_copies=s.local_copies,
+            status_checks=s.status_checks,
+        )
 
     @property
     def elapsed(self) -> float:

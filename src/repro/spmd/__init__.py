@@ -16,20 +16,34 @@ live at: *which remapping messages are exchanged and how large they are*.
   data and charging the cost model.
 """
 
-from repro.spmd.cost import CostModel
+from repro.spmd.cost import CostDecision, CostModel, TrafficEstimate
 from repro.spmd.darray import DistributedArray
 from repro.spmd.machine import Machine
 from repro.spmd.message import Message, TrafficStats
 from repro.spmd.redistribution import RedistSchedule, Transfer, build_schedule, execute_schedule
+from repro.spmd.traffic import (
+    Scenario,
+    TrafficRange,
+    enumerate_scenarios,
+    predict_traffic,
+    simulate_traffic,
+)
 
 __all__ = [
+    "CostDecision",
     "CostModel",
     "DistributedArray",
     "Machine",
     "Message",
     "RedistSchedule",
+    "Scenario",
+    "TrafficEstimate",
+    "TrafficRange",
     "TrafficStats",
     "Transfer",
     "build_schedule",
+    "enumerate_scenarios",
     "execute_schedule",
+    "predict_traffic",
+    "simulate_traffic",
 ]

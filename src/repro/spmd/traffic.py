@@ -1,0 +1,658 @@
+"""Static traffic estimation: a data-free mirror of the runtime executor.
+
+The simulated machine charges communication in exactly one place -- the
+remapping copies of :mod:`repro.spmd.redistribution` -- and the decision of
+whether a generated :class:`~repro.remap.codegen.RemapOp` communicates
+depends only on the runtime descriptors (status, liveness, poisoning), never
+on array *values*.  So a compile-time walk that maintains the descriptors
+abstractly and prices each performed copy by its exact message schedule
+predicts the executor's traffic **exactly**, given the same runtime inputs
+(branch outcomes, loop trip counts, which arrays hold input values).
+
+Three layers:
+
+* :class:`Scenario` -- one concrete choice of runtime inputs;
+* :func:`simulate_traffic` / :class:`TrafficSimulator` -- the dry-run
+  executor, returning a :class:`~repro.spmd.cost.TrafficEstimate`;
+* :func:`enumerate_scenarios` -- the scenario space a placement decision
+  must be validated against (all branch assignments, zero/one/many trip
+  counts for statically unknown loop bounds, inputs present or absent),
+  deterministically subsampled beyond a size cap;
+* :func:`predict_traffic` -- the user-facing oracle half: predict the
+  traffic of a compiled program for one known environment, to be checked
+  against the machine's observed :class:`~repro.spmd.message.TrafficStats`.
+
+Assumptions (documented, not checked): compute statements behave like the
+executor's default kernel -- they touch exactly their declared effects --
+and the machine runs without a memory limit (no live-copy evictions).
+Custom kernels that read or write fewer arrays than declared can make real
+liveness diverge from the prediction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import TrafficPredictionError
+from repro.ir.effects import Use
+from repro.lang.ast_nodes import (
+    Block,
+    Call,
+    Compute,
+    Do,
+    If,
+    Kill,
+    Realign,
+    Redistribute,
+    Stmt,
+    walk_statements,
+)
+from repro.mapping.ownership import layout_of
+from repro.remap.codegen import (
+    EntryOp,
+    ExitOp,
+    GeneratedCode,
+    PoisonOp,
+    RemapOp,
+    RestoreOp,
+    RuntimeOp,
+    SaveStatusOp,
+)
+from repro.spmd.cost import TrafficEstimate
+from repro.spmd.redistribution import build_schedule
+
+if TYPE_CHECKING:
+    from repro.remap.construction import ConstructionResult
+
+
+# ---------------------------------------------------------------------------
+# per-pair schedule costs (shared cache -- layouts are static)
+# ---------------------------------------------------------------------------
+
+#: (src signature, dst signature, itemsize) -> (bytes, messages, local_bytes,
+#: local_copies); schedules depend only on the two layouts.
+_SCHEDULE_COSTS: dict[tuple, tuple[int, int, int, int]] = {}
+
+
+def _copy_cost(src_mapping, dst_mapping, itemsize: int) -> tuple[int, int, int, int]:
+    key = (src_mapping.signature, dst_mapping.signature, itemsize)
+    cached = _SCHEDULE_COSTS.get(key)
+    if cached is None:
+        schedule = build_schedule(layout_of(src_mapping), layout_of(dst_mapping))
+        moved = schedule.moved_elements()
+        local = schedule.total_elements() - moved
+        cached = (
+            moved * itemsize,
+            schedule.message_count,
+            local * itemsize,
+            schedule.local_count,
+        )
+        _SCHEDULE_COSTS[key] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One concrete choice of the runtime inputs that determine traffic.
+
+    ``conditions`` maps branch names to outcomes (a bool, or a sequence
+    consumed one outcome per evaluation, mirroring
+    :class:`~repro.runtime.executor.ExecutionEnv`); ``bindings`` supplies
+    loop bounds; ``inputs`` names the top-level arrays that hold initial
+    values (``None`` = all of them, matching the usual test harnesses).
+    """
+
+    conditions: dict[str, object] = field(default_factory=dict)
+    bindings: dict[str, int] = field(default_factory=dict)
+    inputs: frozenset[str] | None = None
+    itemsize: int = 8
+
+    def describe(self) -> str:
+        conds = ",".join(f"{k}={v}" for k, v in sorted(self.conditions.items()))
+        binds = ",".join(f"{k}={v}" for k, v in sorted(self.bindings.items()))
+        live = "all" if self.inputs is None else ",".join(sorted(self.inputs)) or "none"
+        return f"conditions[{conds}] bindings[{binds}] inputs[{live}]"
+
+
+# ---------------------------------------------------------------------------
+# the dry-run executor
+# ---------------------------------------------------------------------------
+
+
+class _SimArray:
+    """Abstract runtime descriptor: ArrayRuntime minus the storage."""
+
+    __slots__ = ("name", "n", "status", "live", "alloc", "caller_owned", "poisoned")
+
+    def __init__(self, name: str, n_versions: int):
+        self.name = name
+        self.n = n_versions
+        self.status = 0
+        self.live = [False] * n_versions
+        self.alloc = [False] * n_versions
+        self.caller_owned: set[int] = set()
+        self.poisoned = False
+
+    def free_version(self, v: int) -> None:
+        self.live[v] = False
+        if v not in self.caller_owned:
+            self.alloc[v] = False
+
+    def mark_stale_siblings(self, keep_version: int) -> None:
+        for v in range(self.n):
+            if v != keep_version:
+                self.live[v] = False
+
+
+@dataclass
+class _SimFrame:
+    construction: "ConstructionResult"
+    code: GeneratedCode
+    arrays: dict[str, _SimArray]
+    slots: dict[str, int] = field(default_factory=dict)
+    loops: dict[str, int] = field(default_factory=dict)
+
+
+class TrafficSimulator:
+    """Walks compiled subroutines mirroring the executor's descriptor logic."""
+
+    def __init__(
+        self,
+        constructions: dict[str, "ConstructionResult"],
+        codes: dict[str, GeneratedCode],
+        scenario: Scenario,
+    ):
+        self.constructions = constructions
+        self.codes = codes
+        self.scenario = scenario
+        self._frames: list[_SimFrame] = []
+        self._cond_iters: dict[str, Iterator] = {}
+        self.bytes = 0
+        self.messages = 0
+        self.local_bytes = 0
+        self.local_copies = 0
+        self.status_checks = 0
+
+    # -- public -------------------------------------------------------------
+
+    def run(self, entry: str) -> TrafficEstimate:
+        frame = self._enter_frame(entry, args=None)
+        self._sim_ops(frame, frame.code.entry_ops)
+        self._sim_block(frame, frame.construction.sub.body)
+        self._sim_ops(frame, frame.code.exit_ops)
+        self._frames.pop()
+        return TrafficEstimate(
+            bytes=self.bytes,
+            messages=self.messages,
+            local_bytes=self.local_bytes,
+            local_copies=self.local_copies,
+            status_checks=self.status_checks,
+        )
+
+    # -- environment --------------------------------------------------------
+
+    def _condition(self, name: str) -> bool:
+        if name not in self.scenario.conditions:
+            raise TrafficPredictionError(
+                f"no scenario value for condition {name!r}"
+            )
+        v = self.scenario.conditions[name]
+        if isinstance(v, bool):
+            return v
+        if isinstance(v, Sequence):
+            it = self._cond_iters.setdefault(name, iter(v))
+            try:
+                return bool(next(it))
+            except StopIteration:
+                raise TrafficPredictionError(
+                    f"condition sequence for {name!r} exhausted"
+                ) from None
+        raise TrafficPredictionError(
+            f"unsupported condition value for {name!r}: {v!r} "
+            "(the estimator supports bools and sequences)"
+        )
+
+    def _resolve_extent(self, frame: _SimFrame, e) -> int:
+        if isinstance(e, int):
+            return e
+        for source in (frame.loops, self.scenario.bindings, frame.construction.sub.bindings):
+            if e in source:
+                return int(source[e])
+        raise TrafficPredictionError(f"no scenario value for loop bound {e!r}")
+
+    # -- frames -------------------------------------------------------------
+
+    def _enter_frame(
+        self, name: str, args: dict[str, _SimArray] | None
+    ) -> _SimFrame:
+        try:
+            res = self.constructions[name]
+            code = self.codes[name]
+        except KeyError:
+            raise TrafficPredictionError(f"no compiled subroutine {name!r}") from None
+        arrays = {
+            a: _SimArray(a, res.versions.count(a)) for a in res.sub.arrays
+        }
+        frame = _SimFrame(res, code, arrays)
+        if args:
+            for dummy, caller_state in args.items():
+                state = arrays[dummy]
+                state.alloc[0] = caller_state.alloc[caller_state.status]
+                state.live[0] = caller_state.live[caller_state.status]
+                state.caller_owned.add(0)
+                state.poisoned = caller_state.poisoned
+        else:
+            # top level: the harness acts as the caller, providing inputs
+            live = self.scenario.inputs
+            for a, state in arrays.items():
+                if live is None or a in live:
+                    state.alloc[0] = True
+                    state.live[0] = True
+                elif res.sub.arrays[a].is_dummy:
+                    state.alloc[0] = True
+                    state.live[0] = True
+        self._frames.append(frame)
+        return frame
+
+    # -- ops ----------------------------------------------------------------
+
+    def _ensure(self, state: _SimArray, version: int) -> None:
+        state.alloc[version] = True
+        if not state.live[version] and version == state.status:
+            state.live[version] = True
+
+    def _sim_ops(self, frame: _SimFrame, ops: list[RuntimeOp]) -> None:
+        for op in ops:
+            if isinstance(op, RemapOp):
+                self._sim_remap(
+                    frame.arrays[op.array],
+                    leaving=op.leaving,
+                    use=op.use,
+                    keep=op.keep,
+                    dead_values=op.dead_values,
+                    check_status=op.check_status,
+                )
+            elif isinstance(op, SaveStatusOp):
+                frame.slots[op.slot] = frame.arrays[op.array].status
+            elif isinstance(op, RestoreOp):
+                saved = frame.slots.get(op.slot)
+                if saved is None:
+                    raise TrafficPredictionError(f"restore without save: {op.slot}")
+                if saved not in op.possible:
+                    raise TrafficPredictionError(
+                        f"saved status {saved} not among statically possible "
+                        f"{sorted(op.possible)} for {op.array}"
+                    )
+                self._sim_remap(
+                    frame.arrays[op.array],
+                    leaving=saved,
+                    use=op.use,
+                    keep=op.keep | frozenset({saved}),
+                    dead_values=False,
+                    check_status=op.check_status,
+                )
+            elif isinstance(op, PoisonOp):
+                frame.arrays[op.array].poisoned = True
+            elif isinstance(op, EntryOp):
+                pass  # descriptors start all-dead by construction
+            elif isinstance(op, ExitOp):
+                if frame is self._frames[0]:
+                    continue  # the harness (caller) still reads the results
+                for a in op.arrays:
+                    state = frame.arrays[a]
+                    for v in range(state.n):
+                        if v in state.caller_owned:
+                            continue
+                        state.free_version(v)
+            else:  # pragma: no cover - defensive
+                raise TypeError(op)
+
+    def _sim_remap(
+        self,
+        state: _SimArray,
+        leaving: int,
+        use: Use,
+        keep: frozenset[int],
+        dead_values: bool,
+        check_status: bool,
+    ) -> None:
+        versions = self._frames[-1].construction.versions
+        if check_status:
+            self.status_checks += 1
+        if not (check_status and state.status == leaving and state.live[leaving]):
+            state.alloc[leaving] = True
+            if check_status and state.live[leaving]:
+                pass  # kept copy is live: reuse without any communication
+            else:
+                src = state.status
+                if use is Use.D or dead_values or state.poisoned:
+                    pass  # target values are dead on arrival: allocate only
+                elif src == leaving or not state.alloc[src] or not state.live[src]:
+                    pass  # nothing to copy from: materialized without traffic
+                else:
+                    b, m, lb, lc = _copy_cost(
+                        versions.mapping_of(state.name, src),
+                        versions.mapping_of(state.name, leaving),
+                        self.scenario.itemsize,
+                    )
+                    self.bytes += b
+                    self.messages += m
+                    self.local_bytes += lb
+                    self.local_copies += lc
+                state.live[leaving] = True
+            state.status = leaving
+        # the leaving copy may be modified afterwards: siblings become stale
+        if use in (Use.W, Use.D):
+            state.mark_stale_siblings(leaving)
+        # cleanup: free copies not worth keeping (Appendix D's M set)
+        for v in range(state.n):
+            if v == state.status or v in keep:
+                continue
+            if state.live[v] or state.alloc[v]:
+                state.free_version(v)
+
+    # -- statements ---------------------------------------------------------
+
+    def _sim_block(self, frame: _SimFrame, block: Block) -> None:
+        for stmt in block.stmts:
+            self._sim_stmt(frame, stmt)
+
+    def _sim_stmt(self, frame: _SimFrame, stmt: Stmt) -> None:
+        self._sim_ops(frame, frame.code.ops_for(stmt))
+        if isinstance(stmt, Compute):
+            self._sim_compute(frame, stmt)
+        elif isinstance(stmt, (Realign, Redistribute, Kill)):
+            pass  # fully handled by the generated ops
+        elif isinstance(stmt, Call):
+            self._sim_call(frame, stmt)
+        elif isinstance(stmt, If):
+            if self._condition(stmt.cond):
+                self._sim_block(frame, stmt.then)
+            else:
+                self._sim_block(frame, stmt.orelse)
+        elif isinstance(stmt, Do):
+            lo = self._resolve_extent(frame, stmt.lo)
+            hi = self._resolve_extent(frame, stmt.hi)
+            for i in range(lo, hi + 1):
+                frame.loops[stmt.var] = i
+                self._sim_block(frame, stmt.body)
+        else:  # pragma: no cover - defensive
+            raise TypeError(stmt)
+        self._sim_ops(frame, frame.code.ops_after(stmt))
+
+    def _sim_compute(self, frame: _SimFrame, stmt: Compute) -> None:
+        ann = frame.construction.stmt_versions.get(id(stmt), {})
+        for name, version in ann.items():
+            state = frame.arrays[name]
+            if state.status != version:
+                raise TrafficPredictionError(
+                    f"prediction diverged: compiled reference expects "
+                    f"{name}_{version} but simulated status is {state.status}"
+                )
+            self._ensure(state, version)
+        # default-kernel effects: referenced current copies become live,
+        # written/defined arrays lose their poison
+        for name in stmt.reads + stmt.writes + stmt.defines:
+            state = frame.arrays.get(name)
+            if state is None:
+                continue
+            self._ensure(state, state.status)
+        for name in stmt.writes + stmt.defines:
+            state = frame.arrays.get(name)
+            if state is not None:
+                state.poisoned = False
+
+    def _sim_call(self, frame: _SimFrame, stmt: Call) -> None:
+        node = frame.construction.cfg.node_of_stmt(stmt)
+        info = frame.construction.calls.get(node.call_group or -1)
+        if info is None:
+            raise TrafficPredictionError(f"no call info for {stmt.callee}")
+        args = {
+            dummy: frame.arrays[arg] for arg, dummy in zip(info.args, info.dummies)
+        }
+        callee_frame = self._enter_frame(stmt.callee, args=args)
+        self._sim_ops(callee_frame, callee_frame.code.entry_ops)
+        self._sim_block(callee_frame, callee_frame.construction.sub.body)
+        self._sim_ops(callee_frame, callee_frame.code.exit_ops)
+        self._frames.pop()
+        # poison propagates back through the shared dummy storage
+        callee_arrays = callee_frame.construction.sub.arrays
+        for arg, dummy in zip(info.args, info.dummies):
+            if callee_arrays[dummy].intent in ("out", "inout"):
+                frame.arrays[arg].poisoned = callee_frame.arrays[dummy].poisoned
+
+
+def simulate_traffic(
+    constructions: dict[str, "ConstructionResult"],
+    codes: dict[str, GeneratedCode],
+    entry: str,
+    scenario: Scenario,
+) -> TrafficEstimate:
+    """Predict the traffic of one subroutine under one scenario."""
+    return TrafficSimulator(constructions, codes, scenario).run(entry)
+
+
+# ---------------------------------------------------------------------------
+# scenario enumeration
+# ---------------------------------------------------------------------------
+
+
+def _reachable_subs(
+    constructions: dict[str, "ConstructionResult"], entry: str
+) -> list[str]:
+    seen: list[str] = []
+    work = [entry]
+    while work:
+        name = work.pop()
+        if name in seen or name not in constructions:
+            continue
+        seen.append(name)
+        for s in walk_statements(constructions[name].sub.body):
+            if isinstance(s, Call):
+                work.append(s.callee)
+    return seen
+
+
+def _runtime_unknowns(
+    constructions: dict[str, "ConstructionResult"],
+    entry: str,
+    bindings: dict[str, int],
+    pin_bound_trips: bool,
+) -> tuple[list[str], list[str]]:
+    """(branch condition names, symbolic loop-bound names to vary).
+
+    With ``pin_bound_trips`` a bound whose value the bindings supply is
+    taken at that value only; without it every symbolic bound varies (the
+    cost guard's setting: bindings of declared scalars are runtime inputs a
+    cached artifact may be reused across, so its placement decisions must
+    hold for *any* bound value, not just the one this compile saw).
+    """
+    conds: list[str] = []
+    free: list[str] = []
+    for name in _reachable_subs(constructions, entry):
+        sub = constructions[name].sub
+        loop_vars = {
+            s.var for s in walk_statements(sub.body) if isinstance(s, Do)
+        }
+        for s in walk_statements(sub.body):
+            if isinstance(s, If) and s.cond not in conds:
+                conds.append(s.cond)
+            if isinstance(s, Do):
+                for e in (s.lo, s.hi):
+                    if not isinstance(e, str) or e in loop_vars or e in free:
+                        continue
+                    if pin_bound_trips and (e in bindings or e in sub.bindings):
+                        continue
+                    free.append(e)
+    return conds, free
+
+
+def enumerate_scenarios(
+    constructions: dict[str, "ConstructionResult"],
+    entry: str,
+    bindings: dict[str, int] | None = None,
+    inputs: frozenset[str] | None = None,
+    trip_choices: Sequence[int] = (0, 1, 3),
+    vary_inputs: bool = True,
+    pin_bound_trips: bool = True,
+    max_scenarios: int = 96,
+    require_exhaustive: bool = False,
+    itemsize: int = 8,
+) -> list[Scenario]:
+    """The scenario space a placement decision must hold over.
+
+    Every branch condition takes both outcomes, every statically unknown
+    loop bound takes a zero-trip, single-trip and multi-trip value, and the
+    top-level arrays are tried both with and without initial input values
+    (``vary_inputs``; an explicit ``inputs`` set disables the variation).
+    ``pin_bound_trips=False`` additionally varies bounds the bindings *do*
+    supply (alongside the supplied value), so decisions generalize to any
+    runtime bound -- the cost guard's setting, because compile bindings of
+    declared scalars are runtime inputs that cached artifacts outlive.
+    Beyond ``max_scenarios`` combinations the grid is deterministically
+    strided, always keeping the first and last corner -- unless
+    ``require_exhaustive`` is set, in which case an oversized grid raises
+    :class:`~repro.errors.TrafficPredictionError` instead (the cost
+    guard's setting: a subsampled grid cannot *prove* a placement safe).
+    """
+    bindings = dict(bindings or {})
+    conds, free = _runtime_unknowns(constructions, entry, bindings, pin_bound_trips)
+    axes: list[tuple[str, tuple]] = []
+    for c in conds:
+        axes.append(("cond:" + c, (False, True)))
+    for f in free:
+        choices = list(trip_choices)
+        if f in bindings and bindings[f] not in choices:
+            choices.append(bindings[f])  # keep the compile-time value too
+        axes.append(("trip:" + f, tuple(choices)))
+    if inputs is None and vary_inputs:
+        axes.append(("inputs", (None, frozenset())))
+    else:
+        axes.append(("inputs", (inputs,)))
+
+    sizes = [len(choices) for _, choices in axes]
+    total = 1
+    for s in sizes:
+        total *= s
+
+    def decode(index: int) -> Scenario:
+        conditions: dict[str, object] = {}
+        trip_bindings = dict(bindings)
+        live: frozenset[str] | None = inputs
+        for (name, choices), size in zip(axes, sizes):
+            index, digit = divmod(index, size)
+            value = choices[digit]
+            if name.startswith("cond:"):
+                conditions[name[5:]] = value
+            elif name.startswith("trip:"):
+                trip_bindings[name[5:]] = value
+            else:
+                live = value
+        return Scenario(
+            conditions=conditions,
+            bindings=trip_bindings,
+            inputs=live,
+            itemsize=itemsize,
+        )
+
+    if total <= max_scenarios:
+        indices: Sequence[int] = range(total)
+    elif require_exhaustive:
+        raise TrafficPredictionError(
+            f"scenario space of {total} combinations exceeds the "
+            f"max_scenarios cap of {max_scenarios} and cannot be "
+            "enumerated exhaustively"
+        )
+    else:
+        stride = total / max_scenarios
+        picked = {min(total - 1, int(j * stride)) for j in range(max_scenarios)}
+        picked.update((0, total - 1))
+        indices = sorted(picked)
+    return [decode(i) for i in indices]
+
+
+@dataclass(frozen=True)
+class TrafficRange:
+    """Best/worst-case traffic of one subroutine over a scenario space."""
+
+    lo: TrafficEstimate
+    hi: TrafficEstimate
+    scenarios: int
+
+    def describe(self) -> str:
+        if self.lo.bytes == self.hi.bytes and self.lo.messages == self.hi.messages:
+            return f"{self.hi.bytes} B in {self.hi.messages} message(s)"
+        return (
+            f"{self.lo.bytes}..{self.hi.bytes} B in "
+            f"{self.lo.messages}..{self.hi.messages} message(s) "
+            f"over {self.scenarios} scenario(s)"
+        )
+
+
+def estimate_range(
+    constructions: dict[str, "ConstructionResult"],
+    codes: dict[str, GeneratedCode],
+    entry: str,
+    bindings: dict[str, int] | None = None,
+    max_scenarios: int = 96,
+    itemsize: int = 8,
+) -> TrafficRange:
+    """Bound one subroutine's traffic over its runtime-unknown scenarios."""
+    scenarios = enumerate_scenarios(
+        constructions,
+        entry,
+        bindings=bindings,
+        max_scenarios=max_scenarios,
+        itemsize=itemsize,
+    )
+    lo = hi = None
+    for sc in scenarios:
+        est = simulate_traffic(constructions, codes, entry, sc)
+        lo = est if lo is None else lo.meet(est)
+        hi = est if hi is None else hi.join(est)
+    assert lo is not None and hi is not None
+    return TrafficRange(lo=lo, hi=hi, scenarios=len(scenarios))
+
+
+# ---------------------------------------------------------------------------
+# the compile-time half of the traffic oracle
+# ---------------------------------------------------------------------------
+
+
+def predict_traffic(
+    compiled,
+    entry: str | None = None,
+    conditions: dict | None = None,
+    bindings: dict[str, int] | None = None,
+    inputs: frozenset[str] | set[str] | None = None,
+    itemsize: int = 8,
+) -> TrafficEstimate:
+    """Predict the executor's traffic for one known environment.
+
+    ``compiled`` is a :class:`~repro.compiler.artifacts.CompiledProgram`
+    (duck-typed: anything with per-subroutine ``construction`` and ``code``).
+    ``inputs`` names the arrays given initial values (``None`` = all, the
+    harness convention).  With default kernels and no machine memory limit
+    the prediction matches :class:`~repro.spmd.message.TrafficStats` exactly;
+    the runtime oracle tests hold it to within 10%.
+    """
+    subs = compiled.subroutines
+    constructions = {name: cs.construction for name, cs in subs.items()}
+    codes = {name: cs.code for name, cs in subs.items()}
+    if entry is None:
+        entry = next(iter(subs))
+    scenario = Scenario(
+        conditions=dict(conditions or {}),
+        bindings=dict(bindings or {}),
+        inputs=None if inputs is None else frozenset(inputs),
+        itemsize=itemsize,
+    )
+    return simulate_traffic(constructions, codes, entry, scenario)

@@ -1,16 +1,16 @@
 """Hypothesis profiles for the tier-1 suite.
 
-Default profile is deterministic: the soundness property tests draw random
-program seeds, and the generator space contains known-violating seeds for
-the level-3 motion heuristic (e.g. seed 2558 gives level-3 bytes 672 >
-naive 576 -- present since the seed commit, tracked in ROADMAP.md), so
-random entropy makes CI flaky.  Derandomizing replays the same examples
-every run; the properties themselves are unchanged.
+Default profile is deterministic so CI replays the same examples every run;
+``HYPOTHESIS_PROFILE=random`` opts into genuinely randomized exploration
+(the CI matrix runs a dedicated random leg of the soundness properties).
 
-For a genuinely randomized exploration run (recommended out-of-band, e.g.
-nightly or while hunting for the motion counter-examples):
-
-    HYPOTHESIS_PROFILE=random python -m pytest tests/test_soundness.py
+History: the deterministic default originally *hid* a real violation --
+workload seed 2558 made level-3 motion emit 672 B where naive emits 576 B.
+The cost guard on the motion pass (see ``repro/remap/costguard.py``) fixed
+the heuristic, seed 2558 is pinned as a regression test in
+``tests/test_cost_guard.py``, and the monotonicity property was verified
+exhaustively on seeds 0..10000; the random profile is safe to run in CI
+again.  Derandomization is now purely about reproducible CI runs.
 """
 
 import os

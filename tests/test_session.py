@@ -177,3 +177,53 @@ def test_bad_session_arguments():
     s = CompilerSession(processors=4)
     with pytest.raises(TypeError):
         s.compile(12345)  # type: ignore[arg-type]
+
+
+def test_cost_model_is_part_of_the_cache_key():
+    """Two sessions (or two options) with different machine cost models
+    must not share artifacts: the motion pass's cost guard makes different
+    code-motion decisions under different latency/bandwidth/status-check
+    parameters, so an artifact compiled for one machine model may be wrong
+    traffic-wise for another."""
+    from repro import CostModel
+
+    # constant zero-trip Fig. 16 shape: the sink decision flips with the
+    # status-check cost (see test_cost_guard), so the artifacts really differ
+    src = """
+subroutine main()
+  integer n
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, 0
+!hpf$   redistribute A(cyclic)
+    compute reads A
+!hpf$   redistribute A(block)
+  enddo
+  compute reads A
+end
+"""
+    s = CompilerSession(processors=4)
+    default_model = s.compile(src, bindings={"n": 16})
+    free_checks = s.compile(
+        src,
+        bindings={"n": 16},
+        options=CompilerOptions(level=3, cost=CostModel(delta=0.0)),
+    )
+    assert s.stats["misses"] == 2 and s.stats["hits"] == 0
+    assert free_checks is not default_model
+    # the cached artifacts embody different motion decisions
+    assert default_model.report.motion["main"].count == 0
+    assert free_checks.report.motion["main"].count == 1
+
+    # same cost model again: a hit, served from cache
+    again = s.compile(src, bindings={"n": 16})
+    assert again is default_model and s.stats["hits"] == 1
+
+    # session-level default cost models separate sessions' keys too
+    s2 = CompilerSession(
+        processors=4, options=CompilerOptions(level=3, cost=CostModel(delta=0.0))
+    )
+    via_session_default = s2.compile(src, bindings={"n": 16})
+    assert via_session_default.report.motion["main"].count == 1

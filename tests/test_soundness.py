@@ -14,10 +14,19 @@ of live-copy reuse and motion.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+# The randomized CI leg must cover the ISSUE's acceptance bar (>= 500
+# generated programs for the monotonicity property); the deterministic
+# default keeps local runs fast.  @settings overrides the profile, so the
+# example budget has to be profile-aware here.
+RANDOM_PROFILE = os.environ.get("HYPOTHESIS_PROFILE") == "random"
+MONOTONE_EXAMPLES = 500 if RANDOM_PROFILE else 25
 
 from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
 from repro.apps.workloads import (
@@ -105,10 +114,24 @@ def test_prop_loopy_programs_sound(m, t):
     assert s3.bytes <= s0.bytes
 
 
-@settings(max_examples=25, deadline=None)
+@settings(
+    max_examples=MONOTONE_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 @given(seed=st.integers(0, 10_000))
 def test_prop_monotone_levels(seed):
-    """Traffic is monotonically non-increasing with the optimization level."""
+    """Traffic is monotonically non-increasing with the optimization level.
+
+    Level 3 (motion) used to be a pure legality heuristic and could *lose*
+    to lower levels on adversarial programs (the seed-2558 counter-example:
+    sinking a zero-trip loop's trailing remapping made it unconditional).
+    The cost guard now prices every candidate sink against the unmoved
+    placement over all branch/trip scenarios and rejects any that could pay
+    more, so full monotonicity (level 3 <= level 2 <= level 1 <= level 0)
+    is enforced by construction -- verified here on arbitrary seeds and
+    exhaustively on seeds 0..10000 when this property landed.
+    """
     rng = np.random.default_rng(seed)
     program = random_legal_subroutine(rng, n_arrays=2, length=5, depth=1)
     conditions, inputs = random_environment(rng, n_arrays=2)
@@ -118,11 +141,7 @@ def test_prop_monotone_levels(seed):
         byte_counts.append(stats.bytes)
     assert byte_counts[1] <= byte_counts[0]
     assert byte_counts[2] <= byte_counts[1]
-    # level 3 (motion) is a *heuristic*: it targets loops that iterate, and
-    # on adversarial programs sinking a remapping can move it somewhere a
-    # branch-local read keeps it alive while the unmoved one was removable
-    # (a real phase-ordering effect).  It must still never lose to naive:
-    assert byte_counts[3] <= byte_counts[0]
+    assert byte_counts[3] <= byte_counts[2]
 
 
 def test_generated_programs_have_remappings():
