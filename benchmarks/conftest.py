@@ -6,14 +6,51 @@ asserts the *shape* of the paper's claim (who wins, by what factor), and
 records the measured numbers in ``benchmark.extra_info`` so
 ``pytest benchmarks/ --benchmark-only`` prints a complete reproduction
 record (transcribed into EXPERIMENTS.md).
+
+Benchmarks that track a perf trajectory additionally emit machine-readable
+results through the shared ``--json PATH`` flag (:func:`pytest_addoption`)
+and the ``bench_json`` fixture: each benchmark names a default output file
+(e.g. ``BENCH_schedule.json``) that ``--json`` overrides, so CI can collect
+the numbers as artifacts.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
 
 from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results to PATH "
+        "(overrides each benchmark's default output file)",
+    )
+
+
+@pytest.fixture
+def bench_json(request):
+    """Write one benchmark's results as JSON; returns the path written.
+
+    ``bench_json(default_path, payload)`` honours ``--json PATH`` when
+    given, else writes to the benchmark's own default file.
+    """
+
+    def _write(default_path: str, payload) -> str:
+        path = request.config.getoption("--json") or default_path
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    return _write
 
 
 @pytest.fixture

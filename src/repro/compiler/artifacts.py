@@ -18,10 +18,12 @@ from repro.remap.construction import CallInfo, ConstructionResult
 from repro.remap.graph import RemappingGraph, VersionTable
 from repro.remap.motion import MotionReport
 from repro.spmd.cost import CostModel
+from repro.spmd.schedule import DEFAULT_POLICY, POLICIES
 
 if TYPE_CHECKING:  # avoid cycles: pipeline/diagnostics import this module
     from repro.compiler.diagnostics import CompileReport
     from repro.compiler.pipeline import PipelineTrace
+    from repro.spmd.schedule import CommPlanTable
 
 
 # ---------------------------------------------------------------------------
@@ -40,6 +42,7 @@ PASS_ORDER: tuple[str, ...] = (
     "status-checks",
     "codegen",
     "codegen-naive",
+    "schedule",
     "traffic-estimate",
 )
 
@@ -94,13 +97,28 @@ class CompilerOptions:
     different cost models may produce different code (and must not share
     cached artifacts -- :class:`~repro.compiler.session.CompilerSession`
     keys on it).
+
+    ``schedule`` opts into the communication-schedule subsystem: a policy
+    name (``"naive"``, ``"round-robin"``, ``"aggregate"``) makes the
+    executor run every remapping as a phased plan on the machine's phase
+    clock, makes the cost guard and traffic estimator price the
+    *scheduled* placement, and adds the ``schedule`` pass (which
+    precompiles every reachable plan into the artifact) to the pass set.
+    ``None`` (the default) keeps the legacy unphased ledger accounting.
+    Like ``cost``, it is compile-relevant and part of session cache keys.
     """
 
     level: int = 3
     passes: tuple[str, ...] | None = None
     cost: CostModel = CostModel()
+    schedule: str | None = None
 
     def __post_init__(self) -> None:
+        if self.schedule is not None and self.schedule not in POLICIES:
+            raise ValueError(
+                f"unknown schedule policy {self.schedule!r}; "
+                f"known: {list(POLICIES)}"
+            )
         if self.passes is not None:
             names = tuple(self.passes)
             unknown = [n for n in names if n not in PASS_ORDER]
@@ -117,6 +135,12 @@ class CompilerOptions:
                     "'status-checks' has no effect with 'codegen-naive' "
                     "(the naive baseline always copies unconditionally)"
                 )
+            # asking for the schedule pass implies the default policy, and
+            # naming a policy implies the pass: keep the two in sync
+            if "schedule" in names and self.schedule is None:
+                object.__setattr__(self, "schedule", DEFAULT_POLICY)
+            if self.schedule is not None:
+                names = names + ("schedule",)
             # normalize: canonical order, no duplicates (hash/eq friendly)
             object.__setattr__(
                 self, "passes", tuple(n for n in PASS_ORDER if n in set(names))
@@ -132,7 +156,10 @@ class CompilerOptions:
         """The effective pass set, whichever way it was specified."""
         if self.passes is not None:
             return self.passes
-        return passes_for_level(self.level)
+        names = set(passes_for_level(self.level))
+        if self.schedule is not None:
+            names.add("schedule")
+        return tuple(n for n in PASS_ORDER if n in names)
 
     # -- derived flags (backward-compatible surface) -------------------------
 
@@ -162,6 +189,8 @@ class CompilerOptions:
             base = "passes [" + ", ".join(self.passes) + "]"
         else:
             base = f"optimization level {self.level}"
+        if self.schedule is not None:
+            base += f" scheduled [{self.schedule}]"
         if self.cost != CostModel():
             base += f" with {self.cost}"
         return base
@@ -202,6 +231,10 @@ class CompiledProgram:
     (wall time and counters) and an aggregated :class:`CompileReport`
     (diagnostics, motion and removal summaries).  Both are ``None`` for
     artifacts built by other means, so direct construction keeps working.
+    ``plans`` holds the communication plans the ``schedule`` pass
+    precompiled (one phased :class:`~repro.spmd.schedule.CommSchedule` per
+    reachable version pair); warm session hits return the artifact --
+    plans included -- so repeated runs do zero scheduling work.
     """
 
     program: ResolvedProgram
@@ -209,6 +242,7 @@ class CompiledProgram:
     options: CompilerOptions = field(default_factory=CompilerOptions)
     trace: "PipelineTrace | None" = None
     report: "CompileReport | None" = None
+    plans: "CommPlanTable | None" = None
 
     def get(self, name: str) -> CompiledSubroutine:
         return self.subroutines[name]

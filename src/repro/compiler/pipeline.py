@@ -51,13 +51,14 @@ from repro.remap import construction as construction_mod
 from repro.remap import livecopies as livecopies_mod
 from repro.remap import motion as motion_mod
 from repro.remap import optimize as optimize_mod
-from repro.remap.codegen import GeneratedCode, generate_code
+from repro.remap.codegen import GeneratedCode, RemapOp, RestoreOp, generate_code
 from repro.remap.construction import ConstructionResult, build_remapping_graph
 from repro.remap.costguard import CostGuard, GuardFlags
 from repro.remap.graph import RemappingGraph
 from repro.remap.livecopies import compute_live_copies
 from repro.remap.motion import MotionReport, hoist_loop_invariant_remaps
 from repro.remap.optimize import remove_useless_remappings
+from repro.spmd.schedule import DEFAULT_POLICY, CommPlanTable
 from repro.spmd.traffic import estimate_range
 
 
@@ -80,6 +81,7 @@ class PassContext:
     constructions: dict[str, ConstructionResult] = field(default_factory=dict)
     codes: dict[str, GeneratedCode] = field(default_factory=dict)
     status_checks: bool = False
+    plans: CommPlanTable | None = None
     #: single home for per-subroutine motion/removal reports and diagnostics
     report: CompileReport = field(default_factory=CompileReport)
     ran: set[str] = field(default_factory=set)
@@ -212,6 +214,7 @@ class MotionPass:
                 naive="codegen-naive" in names,
             ),
             cost=ctx.options.cost,
+            schedule=ctx.options.schedule,
         )
 
     def run(self, ctx: PassContext) -> dict[str, int]:
@@ -351,6 +354,55 @@ class CodegenPass:
         return {"ops": ops}
 
 
+class SchedulePass:
+    """Precompile the communication plans the compiled program may replay.
+
+    For every version pair a generated remapping can connect -- any
+    current status as the source, each :class:`RemapOp`'s leaving version
+    (or a :class:`RestoreOp`'s possible saved statuses) as the target --
+    build the phased :class:`~repro.spmd.schedule.CommSchedule` under the
+    options' policy and store it in a
+    :class:`~repro.spmd.schedule.CommPlanTable` attached to the artifact.
+    Plans are keyed by (source, target) mapping signature, so aligned
+    families sharing mappings share plans.  Warm
+    :class:`~repro.compiler.session.CompilerSession` hits return the
+    artifact with its plans: the executor replays them with zero
+    scheduling work (``plans_reused`` in the machine's traffic stats).
+    """
+
+    name = "schedule"
+    requires: tuple[str, ...] = ("graph", "code")
+    provides: tuple[str, ...] = ("plans",)
+
+    def run(self, ctx: PassContext) -> dict[str, int]:
+        policy = ctx.options.schedule or DEFAULT_POLICY
+        table = CommPlanTable(policy)
+        pairs = 0
+        for name, res in ctx.constructions.items():
+            targets: dict[str, set[int]] = {}
+            for op in ctx.codes[name].all_ops():
+                if isinstance(op, RemapOp):
+                    targets.setdefault(op.array, set()).add(op.leaving)
+                elif isinstance(op, RestoreOp):
+                    targets.setdefault(op.array, set()).update(op.possible)
+            for array, leavings in targets.items():
+                versions = res.versions.versions(array)
+                for j in sorted(leavings):
+                    for i in range(len(versions)):
+                        if i == j:
+                            continue
+                        pairs += 1
+                        table.build(versions[i], versions[j])
+        ctx.plans = table
+        plans = table.plans()
+        return {
+            "plans": len(table),
+            "pairs": pairs,
+            "phases": sum(p.phase_count for p in plans),
+            "messages": sum(p.message_count for p in plans),
+        }
+
+
 class TrafficEstimatePass:
     """Predict each subroutine's communication over its runtime unknowns.
 
@@ -388,6 +440,8 @@ class TrafficEstimatePass:
                 name,
                 bindings=ctx.bindings,
                 max_scenarios=self.max_scenarios,
+                policy=ctx.options.schedule,
+                cost=ctx.options.cost,
             )
             ctx.report.traffic[name] = rng
             scenario_total += rng.scenarios
@@ -517,6 +571,7 @@ class Pipeline:
             ctx.options,
             trace=ctx.report.trace,
             report=ctx.report,
+            plans=ctx.plans,
         )
 
 
@@ -538,6 +593,7 @@ class PassManager:
         "status-checks": StatusChecksPass,
         "codegen": lambda: CodegenPass(naive=False),
         "codegen-naive": lambda: CodegenPass(naive=True),
+        "schedule": SchedulePass,
         "traffic-estimate": TrafficEstimatePass,
     }
 

@@ -41,10 +41,15 @@ if TYPE_CHECKING:
     from repro.spmd.machine import Machine
 
 #: Cache key: (source digest, sorted bindings, processors, pass names,
-#: cost model).  The cost model is compile-relevant: the motion pass makes
-#: different code-motion decisions under different machine parameters, so
-#: sessions must never serve an artifact compiled for another machine model.
-SessionKey = tuple[str, tuple[tuple[str, int], ...], object, tuple[str, ...], object]
+#: cost model, schedule policy).  The cost model is compile-relevant: the
+#: motion pass makes different code-motion decisions under different machine
+#: parameters, so sessions must never serve an artifact compiled for another
+#: machine model.  The schedule policy likewise: two policies precompile
+#: different communication plans (and guard motion differently), so their
+#: artifacts must not be shared.
+SessionKey = tuple[
+    str, tuple[tuple[str, int], ...], object, tuple[str, ...], object, object
+]
 
 
 def _source_digest(source: str | Program | Subroutine) -> str:
@@ -134,7 +139,14 @@ class CompilerSession:
         relevant = self._binding_names.get(digest)
         if relevant is not None:
             items = ((k, v) for k, v in items if k in relevant)
-        return (digest, tuple(sorted(items)), proc_key, options.pass_names, options.cost)
+        return (
+            digest,
+            tuple(sorted(items)),
+            proc_key,
+            options.pass_names,
+            options.cost,
+            options.schedule,
+        )
 
     def compile(
         self,

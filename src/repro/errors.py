@@ -96,6 +96,14 @@ class TrafficPredictionError(ReproError):
     runtime values, or a divergence between prediction and compiled code)."""
 
 
+class ScheduleError(ReproError):
+    """A communication schedule violated the one-port phase model (a rank
+    asked to send or receive twice in one contention-free phase), or an
+    unknown scheduling policy reached the schedule subsystem.  (Options
+    validation follows the :class:`CompilerOptions` convention instead and
+    raises :class:`ValueError`, as for unknown pass names.)"""
+
+
 class RuntimeRemapError(ReproError):
     """Base class for errors raised while executing compiled programs."""
 

@@ -98,6 +98,7 @@ class CostGuard:
         cost: CostModel | None = None,
         max_scenarios: int = 96,
         itemsize: int = 8,
+        schedule: str | None = None,
     ):
         if isinstance(processors, int):
             processors = ProcessorArrangement("P", (processors,))
@@ -107,6 +108,11 @@ class CostGuard:
         self.cost = cost or CostModel()
         self.max_scenarios = max_scenarios
         self.itemsize = itemsize
+        #: scheduling policy of the surrounding pipeline: when set, both
+        #: placements are priced as *scheduled* executions (phase makespans
+        #: instead of per-endpoint sums) so the decision reflects what the
+        #: contention-managed machine actually delivers
+        self.schedule = schedule
         # placement pricing memo: across the accept/reject iteration the
         # "current" variant of one sink is the "candidate" of the previous,
         # so each variant is compiled and simulated exactly once
@@ -193,7 +199,11 @@ class CostGuard:
             itemsize=self.itemsize,
         )
         estimates = [
-            simulate_traffic(constructions, codes, sub.name, sc) for sc in scenarios
+            simulate_traffic(
+                constructions, codes, sub.name, sc,
+                policy=self.schedule, cost=self.cost,
+            )
+            for sc in scenarios
         ]
         total = TrafficEstimate.zero()
         for est in estimates:
@@ -241,7 +251,9 @@ class CostGuard:
                     )
         except ReproError as exc:  # cannot price it: keep the naive placement
             return GuardDecision(False, 0, 0.0, 0, f"not estimable: {exc}")
-        decision = self.cost.compare(base.total, cand.total)
+        decision = self.cost.compare(
+            base.total, cand.total, scheduled=self.schedule is not None
+        )
         return GuardDecision(
             decision.hoist,
             decision.delta_bytes,

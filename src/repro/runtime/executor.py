@@ -57,6 +57,7 @@ from repro.runtime.status import ArrayRuntime
 from repro.spmd.cost import TrafficEstimate
 from repro.spmd.machine import Machine
 from repro.spmd.redistribution import redistribute
+from repro.spmd.schedule import CommPlanTable, execute_comm_schedule
 
 
 # ---------------------------------------------------------------------------
@@ -216,7 +217,22 @@ class ExecutionResult:
             local_bytes=s.local_bytes,
             local_copies=s.local_copies,
             status_checks=s.status_checks,
+            phases=s.phases,
+            makespan=self.machine.phase_seconds,
         )
+
+    def traffic_by_array(self) -> dict[str, dict[str, int]]:
+        """Per-array bytes/messages breakdown of the run's remapping traffic."""
+        return self.stats.array_breakdown()
+
+    def traffic_by_tag(self) -> dict[str, dict[str, int]]:
+        """Per-remapping-tag bytes/messages breakdown (one tag per RemapOp)."""
+        return self.stats.tag_breakdown()
+
+    @property
+    def phase_count(self) -> int:
+        """Communication phases run on the machine's phase clock."""
+        return self.stats.phases
 
     @property
     def elapsed(self) -> float:
@@ -245,6 +261,16 @@ class Executor:
         self.env = env or ExecutionEnv()
         self._frames: list[_Frame] = []
         self.memory = MemoryManager(self.machine, self._eviction_candidates)
+        # communication scheduling: with a policy, every remapping runs as
+        # a phased plan.  Precompiled plans come from the artifact (the
+        # `schedule` pass); misses are built into an executor-local overlay
+        # so a session-cached artifact is never mutated (and plans_reused
+        # keeps meaning "precompiled by the pass or replayed this run")
+        self.policy = compiled.options.schedule
+        self.plans: CommPlanTable | None = compiled.plans
+        self._plan_overlay: CommPlanTable | None = (
+            CommPlanTable(self.policy) if self.policy is not None else None
+        )
 
     # -- memory ----------------------------------------------------------------
 
@@ -413,9 +439,7 @@ class Executor:
                     # materialized at its first remapping (paper Sec. 5.2)
                     stats.remaps_dead_copy += 1
                 else:
-                    redistribute(
-                        state.insts[src], state.insts[leaving], self.machine, tag=tag
-                    )
+                    self._remap_copy(state, src, leaving, tag)
                     stats.remaps_performed += 1
                 state.live[leaving] = True
             state.status = leaving
@@ -435,6 +459,29 @@ class Executor:
                 raise RuntimeRemapError(
                     f"live copies of {state.name!r} diverged after remapping"
                 )
+
+    def _remap_copy(
+        self, state: ArrayRuntime, src: int, leaving: int, tag: str
+    ) -> None:
+        """Move the data of one remapping copy, scheduled when opted in."""
+        source, target = state.insts[src], state.insts[leaving]
+        assert source is not None and target is not None
+        if self.policy is None:
+            redistribute(source, target, self.machine, tag=tag)
+            return
+        assert self._plan_overlay is not None
+        stats = self.machine.stats
+        src_mapping = state.versions[src]
+        dst_mapping = state.versions[leaving]
+        plan = self.plans.lookup(src_mapping, dst_mapping) if self.plans else None
+        if plan is None:
+            plan = self._plan_overlay.lookup(src_mapping, dst_mapping)
+        if plan is None:
+            plan = self._plan_overlay.build(src_mapping, dst_mapping)
+            stats.plans_built += 1
+        else:
+            stats.plans_reused += 1
+        execute_comm_schedule(plan, source, target, self.machine, tag=tag)
 
     # -- statements -------------------------------------------------------------------------
 

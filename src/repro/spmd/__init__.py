@@ -14,6 +14,10 @@ live at: *which remapping messages are exchanged and how large they are*.
   a copy between two differently mapped versions (block-cyclic index-set
   intersections, Prylli & Tourancheau style) and executes it, moving real
   data and charging the cost model.
+* :mod:`~repro.spmd.schedule`: organizes a redistribution's transfers into
+  contention-managed phases (naive all-at-once, contention-free
+  round-robin, per-pair aggregation) executed on the machine's phase
+  clock, and memoizes precompiled plans per mapping-signature pair.
 """
 
 from repro.spmd.cost import CostDecision, CostModel, TrafficEstimate
@@ -21,6 +25,17 @@ from repro.spmd.darray import DistributedArray
 from repro.spmd.machine import Machine
 from repro.spmd.message import Message, TrafficStats
 from repro.spmd.redistribution import RedistSchedule, Transfer, build_schedule, execute_schedule
+from repro.spmd.schedule import (
+    DEFAULT_POLICY,
+    POLICIES,
+    CommPhase,
+    CommPlanTable,
+    CommSchedule,
+    build_comm_schedule,
+    execute_comm_schedule,
+    plan_redistribution,
+    scheduled_redistribute,
+)
 from repro.spmd.traffic import (
     Scenario,
     TrafficRange,
@@ -30,20 +45,29 @@ from repro.spmd.traffic import (
 )
 
 __all__ = [
+    "CommPhase",
+    "CommPlanTable",
+    "CommSchedule",
     "CostDecision",
     "CostModel",
+    "DEFAULT_POLICY",
     "DistributedArray",
     "Machine",
     "Message",
+    "POLICIES",
     "RedistSchedule",
     "Scenario",
     "TrafficEstimate",
     "TrafficRange",
     "TrafficStats",
     "Transfer",
+    "build_comm_schedule",
     "build_schedule",
     "enumerate_scenarios",
+    "execute_comm_schedule",
     "execute_schedule",
+    "plan_redistribution",
     "predict_traffic",
+    "scheduled_redistribute",
     "simulate_traffic",
 ]

@@ -43,6 +43,13 @@ class TrafficEstimate:
     ``bytes``/``messages`` count real point-to-point remapping messages,
     ``local_bytes``/``local_copies`` the processor-local copies, and
     ``status_checks`` the Fig. 20 runtime guards executed.
+
+    Scheduled executions additionally carry ``phases`` (communication
+    rounds on the machine's phase clock) and ``makespan`` (total modelled
+    phase time in seconds: each round lasts as long as its largest message
+    if contention-free, or its busiest port if contended -- NOT the
+    per-endpoint serialized sum :meth:`CostModel.time` charges).  Both are
+    zero for unscheduled executions and estimates.
     """
 
     bytes: int = 0
@@ -50,6 +57,8 @@ class TrafficEstimate:
     local_bytes: int = 0
     local_copies: int = 0
     status_checks: int = 0
+    phases: int = 0
+    makespan: float = 0.0
 
     # -- lattice / arithmetic ------------------------------------------------
 
@@ -65,6 +74,8 @@ class TrafficEstimate:
             self.local_bytes + other.local_bytes,
             self.local_copies + other.local_copies,
             self.status_checks + other.status_checks,
+            self.phases + other.phases,
+            self.makespan + other.makespan,
         )
 
     def scaled(self, k: int) -> "TrafficEstimate":
@@ -75,6 +86,8 @@ class TrafficEstimate:
             self.local_bytes * k,
             self.local_copies * k,
             self.status_checks * k,
+            self.phases * k,
+            self.makespan * k,
         )
 
     def join(self, other: "TrafficEstimate") -> "TrafficEstimate":
@@ -85,6 +98,8 @@ class TrafficEstimate:
             max(self.local_bytes, other.local_bytes),
             max(self.local_copies, other.local_copies),
             max(self.status_checks, other.status_checks),
+            max(self.phases, other.phases),
+            max(self.makespan, other.makespan),
         )
 
     def meet(self, other: "TrafficEstimate") -> "TrafficEstimate":
@@ -95,6 +110,8 @@ class TrafficEstimate:
             min(self.local_bytes, other.local_bytes),
             min(self.local_copies, other.local_copies),
             min(self.status_checks, other.status_checks),
+            min(self.phases, other.phases),
+            min(self.makespan, other.makespan),
         )
 
     def dominated_by(self, other: "TrafficEstimate") -> bool:
@@ -105,15 +122,19 @@ class TrafficEstimate:
             and self.local_bytes <= other.local_bytes
             and self.local_copies <= other.local_copies
             and self.status_checks <= other.status_checks
+            and self.phases <= other.phases
+            and self.makespan <= other.makespan
         )
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, int | float]:
         return {
             "bytes": self.bytes,
             "messages": self.messages,
             "local_bytes": self.local_bytes,
             "local_copies": self.local_copies,
             "status_checks": self.status_checks,
+            "phases": self.phases,
+            "makespan": self.makespan,
         }
 
 
@@ -181,6 +202,31 @@ class CostModel:
         """Cost of the runtime's 'inexpensive check of its status' (Sec. 4.3)."""
         return self.delta
 
+    def phase_time(
+        self, messages: "list[tuple[int, int, int]]", contended: bool
+    ) -> float:
+        """Duration of one communication phase of (src, dst, nbytes) messages.
+
+        The single shared formula behind both the machine's phase clock
+        (:meth:`~repro.spmd.machine.Machine.run_phase`) and the static
+        :meth:`~repro.spmd.schedule.CommPhase.duration` -- the
+        predicted==observed makespan oracle depends on the two never
+        diverging.  A contention-free phase (one-port property holds)
+        lasts as long as its largest message; a contended one serializes
+        each port and lasts as long as the busiest port's send+receive
+        work.
+        """
+        if not messages:
+            return 0.0
+        if not contended:
+            return max(self.message_cost(n) for _, _, n in messages)
+        load: dict[int, float] = {}
+        for src, dst, nbytes in messages:
+            c = self.message_cost(nbytes)
+            load[src] = load.get(src, 0.0) + c
+            load[dst] = load.get(dst, 0.0) + c
+        return max(load.values())
+
     # -- aggregate costs and decisions ---------------------------------------
 
     def time(self, est: TrafficEstimate) -> float:
@@ -192,8 +238,23 @@ class CostModel:
             + est.status_checks * self.delta
         )
 
+    def scheduled_time(self, est: TrafficEstimate) -> float:
+        """Modelled time of a *scheduled* execution: phase makespan, not
+        per-endpoint sums.  The message term is the estimate's accumulated
+        makespan (rounds overlap disjoint pairs, so it is typically far
+        below the serialized :meth:`time`); local copies and status checks
+        are charged as usual."""
+        return (
+            est.makespan
+            + est.local_bytes * self.gamma
+            + est.status_checks * self.delta
+        )
+
     def compare(
-        self, naive: TrafficEstimate, hoisted: TrafficEstimate
+        self,
+        naive: TrafficEstimate,
+        hoisted: TrafficEstimate,
+        scheduled: bool = False,
     ) -> CostDecision:
         """Decide whether a hoisted placement beats the naive one.
 
@@ -201,10 +262,14 @@ class CostModel:
         AND its modelled time (including the status-check overhead it adds)
         does not exceed the naive placement's -- the pay-only-when-it-wins
         rule.  Ties go to the hoisted placement: equal traffic with fewer
-        dynamic remappings is the paper's Sec. 4.3 argument.
+        dynamic remappings is the paper's Sec. 4.3 argument.  With
+        ``scheduled`` the time leg prices both placements by their phase
+        makespans (:meth:`scheduled_time`): the comparison then reflects
+        what a contention-managed machine actually delivers.
         """
+        time = self.scheduled_time if scheduled else self.time
         delta_bytes = hoisted.bytes - naive.bytes
-        delta_time = self.time(hoisted) - self.time(naive)
+        delta_time = time(hoisted) - time(naive)
         if delta_bytes > 0:
             return CostDecision(
                 False, delta_bytes, delta_time, "moves more message bytes"

@@ -9,16 +9,29 @@ Simulated elapsed time follows the usual LogP-ish convention: each message
 charges its cost to both endpoints' clocks, and :attr:`elapsed` is the
 maximum processor clock, so perfectly parallel all-to-all phases cost what
 the busiest processor pays, not the sum.
+
+:meth:`run_phase` adds the one-port phase clock the communication-schedule
+subsystem (:mod:`repro.spmd.schedule`) executes against: a phase is one
+bulk-synchronous round of messages.  A *contention-free* round (each rank
+sends at most once and receives at most once -- validated, a violation
+raises :exc:`~repro.errors.ScheduleError`) runs at full port speed and
+lasts as long as its largest message; a *contended* round (the naive
+all-at-once baseline) serializes each port and lasts as long as the
+busiest port.  Every processor's clock advances by the round's duration
+(the barrier), and :attr:`phase_seconds` accumulates the total phase-clock
+time so observed makespans are directly comparable with the static
+:meth:`~repro.spmd.schedule.CommSchedule.makespan` prediction.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import OutOfMemoryError
 from repro.mapping.processors import ProcessorArrangement
 from repro.spmd.cost import CostModel
-from repro.spmd.message import Message, TrafficStats
+from repro.spmd.message import Message, TrafficStats, check_one_port
 
 
 @dataclass
@@ -46,6 +59,7 @@ class Machine:
         self.stats = TrafficStats()
         self.log_messages = log_messages
         self.message_log: list[Message] = []
+        self.phase_seconds = 0.0  # total time spent on the phase clock
         self._procs = [_ProcState() for _ in range(processors.size)]
 
     # -- basic queries -------------------------------------------------------
@@ -79,6 +93,35 @@ class Machine:
         c = self.cost.message_cost(msg.nbytes)
         self._procs[msg.src].clock += c
         self._procs[msg.dst].clock += c
+
+    def run_phase(self, messages: Sequence[Message], contended: bool = False) -> float:
+        """Run one bulk-synchronous communication round; returns its duration.
+
+        A contention-free round must satisfy the one-port property: each
+        rank sends at most one of ``messages`` and receives at most one
+        (local copies never belong in a phase -- use :meth:`transfer`).
+        Its duration is the largest message's cost.  A contended round
+        (``contended=True``, the naive all-at-once baseline) allows
+        arbitrary message sets and lasts as long as the busiest port's
+        serialized send+receive work.  All processor clocks advance by the
+        duration: the phase is a global step with a barrier.
+        """
+        if not messages:
+            return 0.0
+        if not contended:
+            check_one_port((m.src, m.dst) for m in messages)
+        duration = self.cost.phase_time(
+            [(m.src, m.dst, m.nbytes) for m in messages], contended
+        )
+        for msg in messages:
+            self.stats.record_message(msg)
+            if self.log_messages:
+                self.message_log.append(msg)
+        for p in self._procs:
+            p.clock += duration
+        self.stats.phases += 1
+        self.phase_seconds += duration
+        return duration
 
     def compute(self, rank: int, seconds: float) -> None:
         """Charge local computation time to one processor."""
@@ -118,6 +161,7 @@ class Machine:
     def reset_stats(self) -> None:
         self.stats = TrafficStats()
         self.message_log.clear()
+        self.phase_seconds = 0.0
         for p in self._procs:
             p.clock = 0.0
 

@@ -6,11 +6,48 @@ can report exactly what the paper argues about -- remapping communication
 volume -- plus the counters the runtime optimizations affect (remappings
 performed, skipped because the target copy was live, copies elided because
 the target is dead, ...).
+
+Per-array and per-tag breakdowns record where the bytes and messages went,
+and the scheduling counters (``phases``, ``plans_built``, ``plans_reused``)
+make the communication-schedule subsystem's effects observable: a scheduled
+run shows how many contention-managed rounds it executed and whether its
+plans came precompiled from the artifact cache or had to be built on the
+spot.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+
+
+def check_one_port(pairs: Iterable[tuple[int, int]]) -> None:
+    """Enforce the one-port property of a contention-free phase.
+
+    ``pairs`` are the (sender, receiver) ranks of one phase's messages;
+    the single shared authority both :meth:`Machine.run_phase` and
+    :meth:`~repro.spmd.schedule.CommPhase.check_one_port` delegate to.
+    """
+    senders: set[int] = set()
+    receivers: set[int] = set()
+    for src, dst in pairs:
+        if src == dst:
+            raise ScheduleError(
+                f"local copy (rank {src}) inside a phase; local transfers "
+                "are not messages"
+            )
+        if src in senders:
+            raise ScheduleError(
+                f"rank {src} sends twice in one contention-free phase"
+            )
+        if dst in receivers:
+            raise ScheduleError(
+                f"rank {dst} receives twice in one contention-free phase"
+            )
+        senders.add(src)
+        receivers.add(dst)
 
 
 @dataclass(frozen=True)
@@ -41,7 +78,13 @@ class TrafficStats:
     allocations: int = 0
     frees: int = 0
     evictions: int = 0
+    phases: int = 0  # communication phases run on the phase clock
+    plans_built: int = 0  # schedules built at run time (no precompiled plan)
+    plans_reused: int = 0  # remappings served by a precompiled CommPlan
     per_array_bytes: dict[str, int] = field(default_factory=dict)
+    per_array_messages: dict[str, int] = field(default_factory=dict)
+    per_tag_bytes: dict[str, int] = field(default_factory=dict)
+    per_tag_messages: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, msg: Message) -> None:
         self.messages += 1
@@ -50,10 +93,42 @@ class TrafficStats:
             self.per_array_bytes[msg.array] = (
                 self.per_array_bytes.get(msg.array, 0) + msg.nbytes
             )
+            self.per_array_messages[msg.array] = (
+                self.per_array_messages.get(msg.array, 0) + 1
+            )
+        if msg.tag:
+            self.per_tag_bytes[msg.tag] = self.per_tag_bytes.get(msg.tag, 0) + msg.nbytes
+            self.per_tag_messages[msg.tag] = self.per_tag_messages.get(msg.tag, 0) + 1
 
     def record_local_copy(self, nbytes: int) -> None:
         self.local_copies += 1
         self.local_bytes += nbytes
+
+    # -- breakdown accessors -------------------------------------------------
+
+    def array_breakdown(self) -> dict[str, dict[str, int]]:
+        """Per-array ``{"bytes": ..., "messages": ...}``, largest first."""
+        names = sorted(
+            self.per_array_bytes, key=self.per_array_bytes.get, reverse=True
+        )
+        return {
+            name: {
+                "bytes": self.per_array_bytes[name],
+                "messages": self.per_array_messages.get(name, 0),
+            }
+            for name in names
+        }
+
+    def tag_breakdown(self) -> dict[str, dict[str, int]]:
+        """Per-remapping-tag ``{"bytes": ..., "messages": ...}``, largest first."""
+        tags = sorted(self.per_tag_bytes, key=self.per_tag_bytes.get, reverse=True)
+        return {
+            tag: {
+                "bytes": self.per_tag_bytes[tag],
+                "messages": self.per_tag_messages.get(tag, 0),
+            }
+            for tag in tags
+        }
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -69,6 +144,9 @@ class TrafficStats:
             "allocations": self.allocations,
             "frees": self.frees,
             "evictions": self.evictions,
+            "phases": self.phases,
+            "plans_built": self.plans_built,
+            "plans_reused": self.plans_reused,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:

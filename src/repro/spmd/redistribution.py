@@ -116,6 +116,28 @@ def build_schedule(src: Layout, dst: Layout) -> RedistSchedule:
     return RedistSchedule(transfers)
 
 
+def move_transfer(
+    t: Transfer, source: DistributedArray, target: DistributedArray
+) -> None:
+    """Copy one transfer's index set from source to target storage.
+
+    The single data-movement primitive shared by :func:`execute_schedule`
+    and the phased executor (:mod:`repro.spmd.schedule`): the differential
+    bit-identical-values invariant holds because both paths move data
+    through exactly this function.
+    """
+    src_lay, dst_lay = source.layout, target.layout
+    qs = src_lay.procs.coords(t.src_rank)
+    qd = dst_lay.procs.coords(t.dst_rank)
+    src_owned = src_lay.owned(qs)
+    dst_owned = dst_lay.owned(qd)
+    assert src_owned is not None and dst_owned is not None
+    src_pos = tuple(positions_in(o, s) for o, s in zip(src_owned, t.index_sets))
+    dst_pos = tuple(positions_in(o, s) for o, s in zip(dst_owned, t.index_sets))
+    data = source.blocks[t.src_rank][np.ix_(*src_pos)]
+    target.blocks[t.dst_rank][np.ix_(*dst_pos)] = data
+
+
 def execute_schedule(
     schedule: RedistSchedule,
     source: DistributedArray,
@@ -125,20 +147,11 @@ def execute_schedule(
 ) -> None:
     """Move real data along the schedule and charge the cost model."""
     machine = machine or target.machine
-    src_lay, dst_lay = source.layout, target.layout
     itemsize = target.itemsize
     for t in schedule.transfers:
         if t.elements == 0:
             continue
-        qs = src_lay.procs.coords(t.src_rank)
-        qd = dst_lay.procs.coords(t.dst_rank)
-        src_owned = src_lay.owned(qs)
-        dst_owned = dst_lay.owned(qd)
-        assert src_owned is not None and dst_owned is not None
-        src_pos = tuple(positions_in(o, s) for o, s in zip(src_owned, t.index_sets))
-        dst_pos = tuple(positions_in(o, s) for o, s in zip(dst_owned, t.index_sets))
-        data = source.blocks[t.src_rank][np.ix_(*src_pos)]
-        target.blocks[t.dst_rank][np.ix_(*dst_pos)] = data
+        move_transfer(t, source, target)
         machine.transfer(
             Message(
                 src=t.src_rank,

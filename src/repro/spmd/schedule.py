@@ -1,0 +1,408 @@
+"""Communication schedules: organizing remapping transfers into phases.
+
+:func:`~repro.spmd.redistribution.build_schedule` computes *which* point-to-
+point transfers a remapping copy needs; this module decides *when* they
+happen.  A :class:`CommSchedule` arranges the non-local transfers of one
+:class:`~repro.spmd.redistribution.RedistSchedule` into an ordered sequence
+of :class:`CommPhase` rounds executed bulk-synchronously on the machine's
+phase clock (:meth:`~repro.spmd.machine.Machine.run_phase`), following the
+contention-free round phasing of Prylli & Tourancheau's block-cyclic
+redistribution scheduling (Euro-Par'96, [19] in the paper).
+
+Scheduled messages are decomposed to *contiguous rectangles*: one message
+per maximal run of consecutive indices (the Cartesian product of the
+transfer's per-dimension intervals), which is what an implementation
+without buffer packing sends.  Three policies:
+
+* ``"naive"`` -- every rectangle in one *contended* phase.  Each processor
+  port serializes everything it sends and receives, so the phase lasts as
+  long as the busiest port: the eager, unpacked, unphased implementation.
+* ``"round-robin"`` -- the caterpillar scheduler: rectangle messages are
+  placed (largest first, first fit) into phases where **every rank sends
+  at most one message and receives at most one message**.  Such a phase is
+  contention-free, so its messages proceed in parallel at full port speed
+  and the phase lasts only as long as its largest message.
+* ``"aggregate"`` -- round-robin over *coalesced* pairs: all rectangles a
+  (sender, receiver) pair exchanges are packed into one message, so the
+  pair pays one start-up latency instead of one per rectangle (Prylli &
+  Tourancheau's packing argument).  Aggregation never increases the
+  message count and leaves the bytes untouched.
+
+Invariants (enforced by construction and property-tested):
+
+* every policy moves exactly the transfers of the underlying redistribution
+  schedule -- same elements, same total bytes, bit-identical data;
+* empty (zero-element) transfers and purely local schedules produce **no**
+  phases;
+* a contention-free phase never has a rank sending or receiving twice
+  (:exc:`~repro.errors.ScheduleError` otherwise -- the machine re-checks).
+
+:class:`CommPlanTable` memoizes built schedules per (source signature,
+target signature) so the opt-in ``schedule`` compiler pass can precompile
+every plan a program may need into the
+:class:`~repro.compiler.artifacts.CompiledProgram` artifact; warm
+:class:`~repro.compiler.session.CompilerSession` runs then replay the plans
+with zero scheduling work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.mapping.mapping import Mapping
+from repro.mapping.ownership import layout_of
+from repro.spmd.cost import CostModel
+from repro.spmd.darray import DistributedArray
+from repro.spmd.machine import Machine
+from repro.spmd.message import Message, check_one_port
+from repro.spmd.redistribution import (
+    RedistSchedule,
+    Transfer,
+    build_schedule,
+    move_transfer,
+)
+
+#: Recognized scheduling policies, cheapest machinery first.
+POLICIES: tuple[str, ...] = ("naive", "round-robin", "aggregate")
+
+#: Policy used when scheduling is requested without naming one.
+DEFAULT_POLICY = "round-robin"
+
+
+def check_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ScheduleError(
+            f"unknown scheduling policy {policy!r}; known: {list(POLICIES)}"
+        )
+    return policy
+
+
+# ---------------------------------------------------------------------------
+# schedule containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackedTransfer:
+    """One message of a phase: one or more rectangles for one (src, dst) pair.
+
+    Unaggregated policies wrap each contiguous rectangle (see
+    :func:`rectangles`) alone; the ``aggregate`` policy coalesces every
+    rectangle a pair exchanges into one packed message.
+    """
+
+    src_rank: int
+    dst_rank: int
+    parts: tuple[Transfer, ...]
+
+    @property
+    def elements(self) -> int:
+        return sum(p.elements for p in self.parts)
+
+    def nbytes(self, itemsize: int) -> int:
+        return self.elements * itemsize
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """One round of messages executed together on the phase clock.
+
+    ``contended=False`` promises the one-port property (each rank sends at
+    most once and receives at most once), so the phase runs at full port
+    speed and lasts as long as its largest message.  A contended phase
+    (the naive policy's single round) serializes each port instead.
+    """
+
+    transfers: tuple[PackedTransfer, ...]
+    contended: bool = False
+
+    @property
+    def message_count(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def elements(self) -> int:
+        return sum(t.elements for t in self.transfers)
+
+    def check_one_port(self) -> None:
+        check_one_port((t.src_rank, t.dst_rank) for t in self.transfers)
+
+    def duration(self, cost: CostModel, itemsize: int) -> float:
+        """Modelled phase time, by the machine clock's own formula
+        (:meth:`~repro.spmd.cost.CostModel.phase_time`), so predicted
+        makespans match observed ``phase_seconds`` exactly."""
+        return cost.phase_time(
+            [(t.src_rank, t.dst_rank, t.nbytes(itemsize)) for t in self.transfers],
+            self.contended,
+        )
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """The full phased plan of one remapping copy (a ``CommPlan``).
+
+    ``local_transfers`` are the src==dst copies (including replica-aware
+    local copies); they never occupy a phase.  Phases carry only real
+    messages, so a redistribution with nothing to send has no phases.
+    """
+
+    policy: str
+    phases: tuple[CommPhase, ...]
+    local_transfers: tuple[Transfer, ...]
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.phases)
+
+    @property
+    def message_count(self) -> int:
+        return sum(p.message_count for p in self.phases)
+
+    @property
+    def moved_elements(self) -> int:
+        return sum(p.elements for p in self.phases)
+
+    @property
+    def local_count(self) -> int:
+        return len(self.local_transfers)
+
+    @property
+    def local_elements(self) -> int:
+        return sum(t.elements for t in self.local_transfers)
+
+    def moved_bytes(self, itemsize: int) -> int:
+        return self.moved_elements * itemsize
+
+    def makespan(self, cost: CostModel, itemsize: int) -> float:
+        """Total phase-clock time: the sum of the phase durations."""
+        return sum(p.duration(cost, itemsize) for p in self.phases)
+
+    def validate(self) -> None:
+        """Re-check the one-port property of every contention-free phase."""
+        for p in self.phases:
+            if not p.contended:
+                p.check_one_port()
+
+    def describe(self) -> str:
+        return (
+            f"{self.policy}: {self.message_count} message(s) in "
+            f"{self.phase_count} phase(s), {self.local_count} local cop(ies)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# schedule construction
+# ---------------------------------------------------------------------------
+
+
+def rectangles(t: Transfer) -> list[Transfer]:
+    """Decompose a transfer into its maximal contiguous rectangles.
+
+    Each per-dimension index set is a union of intervals; the Cartesian
+    product of one interval per dimension is one contiguous rectangle --
+    the unit an implementation without buffer packing sends as a message.
+    """
+    from itertools import product
+
+    from repro.util.intervals import IntervalSet
+
+    per_dim = [s.intervals for s in t.index_sets]
+    if all(len(ivs) == 1 for ivs in per_dim):
+        return [t]
+    return [
+        Transfer(
+            t.src_rank,
+            t.dst_rank,
+            tuple(IntervalSet((iv,)) for iv in combo),
+        )
+        for combo in product(*per_dim)
+    ]
+
+
+def _pack(transfers: list[Transfer], aggregate: bool) -> list[PackedTransfer]:
+    if not aggregate:
+        return [
+            PackedTransfer(r.src_rank, r.dst_rank, (r,))
+            for t in transfers
+            for r in rectangles(t)
+        ]
+    by_pair: dict[tuple[int, int], list[Transfer]] = {}
+    for t in transfers:
+        by_pair.setdefault((t.src_rank, t.dst_rank), []).append(t)
+    return [
+        PackedTransfer(src, dst, tuple(parts))
+        for (src, dst), parts in by_pair.items()
+    ]
+
+
+def _round_robin_phases(packed: list[PackedTransfer]) -> tuple[CommPhase, ...]:
+    """Largest-first first-fit into one-port rounds (caterpillar phasing).
+
+    Each message lands in the earliest phase where its sender's send port
+    and its receiver's receive port are both free, so the one-port property
+    holds by construction; descending size keeps phase durations (the max
+    message of each round) from being inflated by late large messages.
+    """
+    order = sorted(
+        packed, key=lambda t: (-t.elements, t.src_rank, t.dst_rank)
+    )
+    phases: list[list[PackedTransfer]] = []
+    sending: list[set[int]] = []
+    receiving: list[set[int]] = []
+    for t in order:
+        for k in range(len(phases)):
+            if t.src_rank not in sending[k] and t.dst_rank not in receiving[k]:
+                break
+        else:
+            k = len(phases)
+            phases.append([])
+            sending.append(set())
+            receiving.append(set())
+        phases[k].append(t)
+        sending[k].add(t.src_rank)
+        receiving[k].add(t.dst_rank)
+    return tuple(CommPhase(tuple(msgs), contended=False) for msgs in phases)
+
+
+def build_comm_schedule(
+    schedule: RedistSchedule, policy: str = DEFAULT_POLICY
+) -> CommSchedule:
+    """Organize a redistribution's transfers into phases under ``policy``."""
+    check_policy(policy)
+    local: list[Transfer] = []
+    remote: list[Transfer] = []
+    for t in schedule.transfers:
+        if t.elements == 0:
+            continue  # zero-element transfers never occupy a phase
+        (local if t.is_local else remote).append(t)
+    if not remote:
+        return CommSchedule(policy, (), tuple(local))
+    if policy == "naive":
+        phases: tuple[CommPhase, ...] = (
+            CommPhase(tuple(_pack(remote, aggregate=False)), contended=True),
+        )
+    else:
+        packed = _pack(remote, aggregate=policy == "aggregate")
+        phases = _round_robin_phases(packed)
+    return CommSchedule(policy, phases, tuple(local))
+
+
+def plan_redistribution(
+    src: Mapping, dst: Mapping, policy: str = DEFAULT_POLICY
+) -> CommSchedule:
+    """Build the phased plan for a copy ``dst = src`` from the mappings."""
+    return build_comm_schedule(
+        build_schedule(layout_of(src), layout_of(dst)), policy
+    )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def execute_comm_schedule(
+    plan: CommSchedule,
+    source: DistributedArray,
+    target: DistributedArray,
+    machine: Machine | None = None,
+    tag: str = "",
+) -> None:
+    """Move real data phase by phase on the machine's phase clock.
+
+    Bit-identical to :func:`~repro.spmd.redistribution.execute_schedule`
+    in the values delivered and the total bytes moved; only the *timing*
+    (and, under ``aggregate``, the message count) differs.
+    """
+    machine = machine or target.machine
+    itemsize = target.itemsize
+    for t in plan.local_transfers:
+        move_transfer(t, source, target)
+        machine.transfer(
+            Message(
+                src=t.src_rank,
+                dst=t.dst_rank,
+                nbytes=t.elements * itemsize,
+                elements=t.elements,
+                array=target.name,
+                tag=tag,
+            )
+        )
+    for phase in plan.phases:
+        messages = []
+        for pt in phase.transfers:
+            for part in pt.parts:
+                move_transfer(part, source, target)
+            messages.append(
+                Message(
+                    src=pt.src_rank,
+                    dst=pt.dst_rank,
+                    nbytes=pt.nbytes(itemsize),
+                    elements=pt.elements,
+                    array=target.name,
+                    tag=tag,
+                )
+            )
+        machine.run_phase(messages, contended=phase.contended)
+
+
+def scheduled_redistribute(
+    source: DistributedArray,
+    target: DistributedArray,
+    machine: Machine | None = None,
+    policy: str = DEFAULT_POLICY,
+    plan: CommSchedule | None = None,
+    tag: str = "",
+) -> CommSchedule:
+    """Convenience: plan (unless given) and execute ``target = source``."""
+    if plan is None:
+        plan = plan_redistribution(source.mapping, target.mapping, policy)
+    execute_comm_schedule(plan, source, target, machine, tag)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# plan tables (the precompiled artifact)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommPlanTable:
+    """Memoized plans for one policy, keyed by (src, dst) mapping signature.
+
+    The ``schedule`` compiler pass prebuilds one entry per reachable
+    version pair and attaches the table to the compiled artifact;
+    the executor looks plans up at each remapping (building on demand only
+    when the pass was not run) and counts hits/builds in the machine's
+    :class:`~repro.spmd.message.TrafficStats`.
+    """
+
+    policy: str = DEFAULT_POLICY
+    _plans: dict[tuple, CommSchedule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_policy(self.policy)
+
+    @staticmethod
+    def _key(src: Mapping, dst: Mapping) -> tuple:
+        return (src.signature, dst.signature)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plans(self) -> list[CommSchedule]:
+        return list(self._plans.values())
+
+    def lookup(self, src: Mapping, dst: Mapping) -> CommSchedule | None:
+        return self._plans.get(self._key(src, dst))
+
+    def build(self, src: Mapping, dst: Mapping) -> CommSchedule:
+        """Build (or return the already-built) plan for ``dst = src``."""
+        key = self._key(src, dst)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_redistribution(src, dst, self.policy)
+            self._plans[key] = plan
+        return plan

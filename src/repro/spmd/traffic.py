@@ -61,8 +61,9 @@ from repro.remap.codegen import (
     RuntimeOp,
     SaveStatusOp,
 )
-from repro.spmd.cost import TrafficEstimate
+from repro.spmd.cost import CostModel, TrafficEstimate
 from repro.spmd.redistribution import build_schedule
+from repro.spmd.schedule import CommPlanTable, CommSchedule
 
 if TYPE_CHECKING:
     from repro.remap.construction import ConstructionResult
@@ -75,6 +76,10 @@ if TYPE_CHECKING:
 #: (src signature, dst signature, itemsize) -> (bytes, messages, local_bytes,
 #: local_copies); schedules depend only on the two layouts.
 _SCHEDULE_COSTS: dict[tuple, tuple[int, int, int, int]] = {}
+
+#: one signature-keyed plan memo per policy (plans are element-based, so
+#: one plan serves every itemsize and cost model)
+_PLAN_TABLES: dict[str, CommPlanTable] = {}
 
 
 def _copy_cost(src_mapping, dst_mapping, itemsize: int) -> tuple[int, int, int, int]:
@@ -92,6 +97,13 @@ def _copy_cost(src_mapping, dst_mapping, itemsize: int) -> tuple[int, int, int, 
         )
         _SCHEDULE_COSTS[key] = cached
     return cached
+
+
+def _copy_plan(src_mapping, dst_mapping, policy: str) -> CommSchedule:
+    table = _PLAN_TABLES.get(policy)
+    if table is None:
+        table = _PLAN_TABLES[policy] = CommPlanTable(policy)
+    return table.build(src_mapping, dst_mapping)
 
 
 # ---------------------------------------------------------------------------
@@ -169,10 +181,17 @@ class TrafficSimulator:
         constructions: dict[str, "ConstructionResult"],
         codes: dict[str, GeneratedCode],
         scenario: Scenario,
+        policy: str | None = None,
+        cost: CostModel | None = None,
     ):
         self.constructions = constructions
         self.codes = codes
         self.scenario = scenario
+        #: when set, copies are priced as *scheduled* executions: the
+        #: policy's phased plan determines message counts (aggregation
+        #: coalesces pairs) and the phase/makespan quantities
+        self.policy = policy
+        self.cost = cost or CostModel()
         self._frames: list[_SimFrame] = []
         self._cond_iters: dict[str, Iterator] = {}
         self.bytes = 0
@@ -180,6 +199,8 @@ class TrafficSimulator:
         self.local_bytes = 0
         self.local_copies = 0
         self.status_checks = 0
+        self.phases = 0
+        self.makespan = 0.0
 
     # -- public -------------------------------------------------------------
 
@@ -195,6 +216,8 @@ class TrafficSimulator:
             local_bytes=self.local_bytes,
             local_copies=self.local_copies,
             status_checks=self.status_checks,
+            phases=self.phases,
+            makespan=self.makespan,
         )
 
     # -- environment --------------------------------------------------------
@@ -338,15 +361,23 @@ class TrafficSimulator:
                 elif src == leaving or not state.alloc[src] or not state.live[src]:
                     pass  # nothing to copy from: materialized without traffic
                 else:
-                    b, m, lb, lc = _copy_cost(
-                        versions.mapping_of(state.name, src),
-                        versions.mapping_of(state.name, leaving),
-                        self.scenario.itemsize,
-                    )
-                    self.bytes += b
-                    self.messages += m
-                    self.local_bytes += lb
-                    self.local_copies += lc
+                    src_mapping = versions.mapping_of(state.name, src)
+                    dst_mapping = versions.mapping_of(state.name, leaving)
+                    itemsize = self.scenario.itemsize
+                    if self.policy is None:
+                        b, m, lb, lc = _copy_cost(src_mapping, dst_mapping, itemsize)
+                        self.bytes += b
+                        self.messages += m
+                        self.local_bytes += lb
+                        self.local_copies += lc
+                    else:
+                        plan = _copy_plan(src_mapping, dst_mapping, self.policy)
+                        self.bytes += plan.moved_bytes(itemsize)
+                        self.messages += plan.message_count
+                        self.local_bytes += plan.local_elements * itemsize
+                        self.local_copies += plan.local_count
+                        self.phases += plan.phase_count
+                        self.makespan += plan.makespan(self.cost, itemsize)
                 state.live[leaving] = True
             state.status = leaving
         # the leaving copy may be modified afterwards: siblings become stale
@@ -435,9 +466,19 @@ def simulate_traffic(
     codes: dict[str, GeneratedCode],
     entry: str,
     scenario: Scenario,
+    policy: str | None = None,
+    cost: CostModel | None = None,
 ) -> TrafficEstimate:
-    """Predict the traffic of one subroutine under one scenario."""
-    return TrafficSimulator(constructions, codes, scenario).run(entry)
+    """Predict the traffic of one subroutine under one scenario.
+
+    With a scheduling ``policy`` the prediction prices the *scheduled*
+    placement: message counts follow the policy's plans (aggregation
+    coalesces pairs) and the estimate carries phase counts and the
+    modelled makespan under ``cost``.
+    """
+    return TrafficSimulator(
+        constructions, codes, scenario, policy=policy, cost=cost
+    ).run(entry)
 
 
 # ---------------------------------------------------------------------------
@@ -604,6 +645,8 @@ def estimate_range(
     bindings: dict[str, int] | None = None,
     max_scenarios: int = 96,
     itemsize: int = 8,
+    policy: str | None = None,
+    cost: CostModel | None = None,
 ) -> TrafficRange:
     """Bound one subroutine's traffic over its runtime-unknown scenarios."""
     scenarios = enumerate_scenarios(
@@ -615,7 +658,7 @@ def estimate_range(
     )
     lo = hi = None
     for sc in scenarios:
-        est = simulate_traffic(constructions, codes, entry, sc)
+        est = simulate_traffic(constructions, codes, entry, sc, policy=policy, cost=cost)
         lo = est if lo is None else lo.meet(est)
         hi = est if hi is None else hi.join(est)
     assert lo is not None and hi is not None
@@ -642,11 +685,17 @@ def predict_traffic(
     ``inputs`` names the arrays given initial values (``None`` = all, the
     harness convention).  With default kernels and no machine memory limit
     the prediction matches :class:`~repro.spmd.message.TrafficStats` exactly;
-    the runtime oracle tests hold it to within 10%.
+    the runtime oracle tests hold it to within 10%.  A program compiled
+    with ``CompilerOptions(schedule=...)`` is predicted as the executor
+    runs it: scheduled, with phase counts and modelled makespan under the
+    compile options' cost model.
     """
     subs = compiled.subroutines
     constructions = {name: cs.construction for name, cs in subs.items()}
     codes = {name: cs.code for name, cs in subs.items()}
+    options = getattr(compiled, "options", None)
+    policy = getattr(options, "schedule", None)
+    cost = getattr(options, "cost", None)
     if entry is None:
         entry = next(iter(subs))
     scenario = Scenario(
@@ -655,4 +704,6 @@ def predict_traffic(
         inputs=None if inputs is None else frozenset(inputs),
         itemsize=itemsize,
     )
-    return simulate_traffic(constructions, codes, entry, scenario)
+    return simulate_traffic(
+        constructions, codes, entry, scenario, policy=policy, cost=cost
+    )
