@@ -14,6 +14,14 @@ Quickstart (the session API compiles with artifact caching and runs)::
     result = session.run(SOURCE, bindings={"n": 64}, conditions={"c1": True})
     print(result.stats.snapshot(), result.value("a"))
 
+For concurrent traffic, :class:`CompileService` is the thread-safe front
+door: batches of ``(source, bindings, conditions)`` requests execute on a
+bounded worker pool over a digest-sharded session cache
+(:class:`SessionPool`), with single-flight dedup of identical in-flight
+compiles and a ``ServiceStats`` telemetry surface (throughput, p50/p99
+latency, shard hit rates, dedup saves, queue depth) -- see
+:mod:`repro.service` and ``docs/ARCHITECTURE.md``.
+
 Lower-level entry points: :func:`compile_program` (stable one-shot API) and
 :class:`~repro.compiler.pipeline.Pipeline`/:class:`~repro.compiler.pipeline.PassManager`
 for explicit control over the named passes (``parse``, ``motion``,
@@ -63,6 +71,13 @@ from repro.mapping import (
     Template,
 )
 from repro.runtime import ExecutionEnv, ExecutionResult, Executor, execute
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    ServiceResult,
+    ServiceStats,
+    SessionPool,
+)
 from repro.spmd import (
     CostModel,
     DistributedArray,
@@ -71,12 +86,14 @@ from repro.spmd import (
     predict_traffic,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alignment",
     "AxisAlign",
     "CompileReport",
+    "CompileRequest",
+    "CompileService",
     "CompiledProgram",
     "CompiledSubroutine",
     "CompilerOptions",
@@ -95,6 +112,9 @@ __all__ = [
     "Pipeline",
     "PipelineTrace",
     "ProcessorArrangement",
+    "ServiceResult",
+    "ServiceStats",
+    "SessionPool",
     "SubroutineBuilder",
     "Template",
     "TrafficEstimate",

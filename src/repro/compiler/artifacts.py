@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.errors import ArtifactFrozenError
 from repro.lang.semantics import ResolvedProgram, ResolvedSubroutine
 from repro.remap.codegen import GeneratedCode
 from repro.remap.construction import CallInfo, ConstructionResult
@@ -48,6 +49,24 @@ PASS_ORDER: tuple[str, ...] = (
 
 #: Passes every complete compilation needs (front end through codegen).
 MANDATORY_PASSES: frozenset[str] = frozenset({"parse", "resolve", "construction"})
+
+#: Where each pass comes from in the paper (or which extension added it).
+#: Rendered into ``docs/PASSES.md`` by
+#: :func:`repro.compiler.report.pass_reference_table` and kept in sync by
+#: ``tests/test_docs.py``.
+PASS_ANCHORS: dict[str, str] = {
+    "parse": "Sec. 2 (input language, Fig. 4/10 syntax)",
+    "motion": "Fig. 16/17 (loop-invariant remapping motion)",
+    "resolve": "Sec. 2 (mapping semantics, restrictions 1-3)",
+    "construction": "Appendix B (remapping-graph construction)",
+    "remove-useless": "Appendix C (useless remapping removal)",
+    "live-copies": "Appendix D (dynamic live copies M_A(v))",
+    "status-checks": "Fig. 20 (runtime status guard)",
+    "codegen": "Fig. 19/20 (copy code generation)",
+    "codegen-naive": "Sec. 4 (naive always-copy baseline)",
+    "schedule": "extension: PR 3 (Prylli & Tourancheau-style phases)",
+    "traffic-estimate": "extension: PR 2 (static traffic oracle)",
+}
 
 
 def passes_for_level(level: int) -> tuple[str, ...]:
@@ -196,8 +215,39 @@ class CompilerOptions:
         return base
 
 
+class _Freezable:
+    """Opt-in immutability: after :meth:`freeze`, attribute writes raise.
+
+    Compiled artifacts are built mutably (the pipeline assembles them
+    field by field) but become *shared* the moment a session caches them:
+    any number of concurrent executors may then read the same object.
+    Freezing turns the sharing contract into an enforced invariant --
+    an accidental in-place mutation fails loudly with
+    :class:`~repro.errors.ArtifactFrozenError` instead of corrupting a
+    concurrent run.  ``dataclasses.replace`` keeps working: it builds a
+    *new, unfrozen* object, which is exactly how the session serves
+    per-caller binding wrappers over a frozen artifact.
+    """
+
+    @property
+    def frozen(self) -> bool:
+        return self.__dict__.get("_frozen", False)
+
+    def _freeze_self(self) -> None:
+        self.__dict__["_frozen"] = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if self.__dict__.get("_frozen", False):
+            raise ArtifactFrozenError(
+                f"cannot set {name!r}: this {type(self).__name__} is frozen "
+                "(cached artifacts are shared across threads; use "
+                "dataclasses.replace to derive a mutable copy)"
+            )
+        super().__setattr__(name, value)
+
+
 @dataclass
-class CompiledSubroutine:
+class CompiledSubroutine(_Freezable):
     """One subroutine after the full pass pipeline."""
 
     name: str
@@ -205,6 +255,10 @@ class CompiledSubroutine:
     construction: ConstructionResult
     code: GeneratedCode
     motion: MotionReport
+
+    def freeze(self) -> None:
+        """Make this subroutine immutable (see :class:`_Freezable`)."""
+        self._freeze_self()
 
     @property
     def graph(self) -> RemappingGraph:
@@ -224,7 +278,7 @@ class CompiledSubroutine:
 
 
 @dataclass
-class CompiledProgram:
+class CompiledProgram(_Freezable):
     """All compiled subroutines plus shared metadata.
 
     Pipeline compilations additionally attach a per-pass :class:`PipelineTrace`
@@ -235,6 +289,11 @@ class CompiledProgram:
     precompiled (one phased :class:`~repro.spmd.schedule.CommSchedule` per
     reachable version pair); warm session hits return the artifact --
     plans included -- so repeated runs do zero scheduling work.
+
+    A cached (session-held) artifact is :meth:`frozen <freeze>`: it is
+    shared by every thread that hits the cache, the executor treats it as
+    read-only (plan-table misses build into an executor-local overlay),
+    and attribute writes raise :class:`~repro.errors.ArtifactFrozenError`.
     """
 
     program: ResolvedProgram
@@ -243,6 +302,22 @@ class CompiledProgram:
     trace: "PipelineTrace | None" = None
     report: "CompileReport | None" = None
     plans: "CommPlanTable | None" = None
+
+    def freeze(self) -> None:
+        """Make the artifact (and its plan table) immutable for sharing.
+
+        Called by :class:`~repro.compiler.session.CompilerSession` before
+        the artifact enters the cache.  Freezing is shallow but covers the
+        surfaces concurrency exercises: the program/subroutine containers
+        reject attribute writes and the attached
+        :class:`~repro.spmd.schedule.CommPlanTable` rejects ``build`` (the
+        executor keeps per-run plan misses in its own overlay).  Idempotent.
+        """
+        for cs in self.subroutines.values():
+            cs.freeze()
+        if self.plans is not None:
+            self.plans.freeze()
+        self._freeze_self()
 
     def get(self, name: str) -> CompiledSubroutine:
         return self.subroutines[name]

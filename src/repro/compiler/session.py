@@ -21,12 +21,34 @@ so the whole quickstart is three lines::
     session = CompilerSession(processors=4)
     result = session.run(SOURCE, bindings={"n": 64}, conditions={"c1": True})
     print(result.stats.snapshot())
+
+Thread safety
+-------------
+
+Sessions are safe to share across threads.  A lock guards the cache and
+its statistics, but is *never* held across a pipeline run: a miss
+compiles outside the lock, so concurrent compiles of distinct sources
+proceed in parallel.  Two threads missing the *same* key may both run the
+pipeline (last insert wins -- artifacts are interchangeable by
+construction); callers who want exactly-one-compile semantics should go
+through :class:`~repro.service.CompileService`, whose single-flight table
+collapses concurrent identical misses onto one pipeline run.  Artifacts
+are frozen (:meth:`CompiledProgram.freeze`) before they enter the cache,
+so every thread sees an immutable object; cache hits with different
+runtime-only bindings are served as fresh unfrozen wrappers sharing the
+frozen artifact's expensive products.
+
+The key logic is public so cache front-ends can shard on it:
+:func:`source_digest` gives the content digest (the sharding key used by
+:class:`~repro.service.SessionPool`) and :meth:`CompilerSession.cache_key`
+the full artifact key.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -52,8 +74,14 @@ SessionKey = tuple[
 ]
 
 
-def _source_digest(source: str | Program | Subroutine) -> str:
-    """A stable content digest, computed without parsing."""
+def source_digest(source: str | Program | Subroutine) -> str:
+    """A stable content digest, computed without parsing.
+
+    This is the sharding key of the service layer: requests for the same
+    source always land on the same :class:`~repro.service.SessionPool`
+    shard, so a shard sees every version of "its" sources and the learned
+    runtime-only-binding exclusion stays shard-local.
+    """
     if isinstance(source, str):
         text = source
     elif isinstance(source, Subroutine):
@@ -65,7 +93,11 @@ def _source_digest(source: str | Program | Subroutine) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def _with_bindings(
+#: Backward-compatible private alias (pre-service-layer name).
+_source_digest = source_digest
+
+
+def with_bindings(
     compiled: CompiledProgram, bindings: dict[str, int] | None
 ) -> CompiledProgram:
     """The artifact as if compiled with ``bindings``.
@@ -74,7 +106,10 @@ def _with_bindings(
     resolved subroutines (the executor falls back to them for loop bounds),
     so serving it verbatim would silently replay the *first* caller's
     values.  The expensive products (construction, generated code) are
-    shared; only the subroutine wrappers are re-created.
+    shared; only the subroutine wrappers are re-created.  Public because
+    every front-end that shares artifacts across callers needs it -- the
+    service layer applies it to single-flight followers, whose bindings
+    the leader's artifact does not carry.
     """
     bindings = dict(bindings or {})
     if all(cs.sub.bindings == bindings for cs in compiled.subroutines.values()):
@@ -115,6 +150,9 @@ class CompilerSession:
         # runtime-only bindings (loop bounds etc.) are excluded from keys
         # once the first compile of a source has taught us which is which
         self._binding_names: dict[str, frozenset[str]] = {}
+        # guards _cache, _binding_names and the counters; never held while
+        # a pipeline runs, so distinct-source compiles overlap freely
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -148,6 +186,63 @@ class CompilerSession:
             options.schedule,
         )
 
+    def cache_key(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> SessionKey:
+        """The full artifact cache key a compile of these inputs would use.
+
+        Public so cache front-ends (the service layer's single-flight
+        table) can deduplicate on artifact identity.  The key reflects the
+        session's *current* learned binding knowledge for the source: it
+        may refine after the first compile of a digest, which only splits
+        keys (never merges distinct artifacts onto one key).  ``digest``
+        lets a front-end that already hashed the source skip the rehash.
+        """
+        options = options or self.options
+        if processors is None:
+            processors = self.processors
+        if digest is None:
+            digest = source_digest(source)
+        with self._lock:
+            return self._key(digest, bindings, processors, options)
+
+    def lookup(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> CompiledProgram | None:
+        """A pure cache peek: the artifact if cached, else ``None``.
+
+        A hit counts (and refreshes LRU recency) exactly like a
+        :meth:`compile` hit; a peek miss counts nothing -- the caller may
+        go on to :meth:`compile` (which records the miss) or not.  This
+        is the fast path the service layer takes before entering its
+        single-flight table, so warm hits never touch a global lock.
+        """
+        options = options or self.options
+        if processors is None:
+            processors = self.processors
+        if digest is None:
+            digest = source_digest(source)
+        with self._lock:
+            key = self._key(digest, bindings, processors, options)
+            cached = self._cache.get(key)
+            if cached is None:
+                return None
+            self._cache.move_to_end(key)
+            self.hits += 1
+        return with_bindings(cached, bindings)
+
     def compile(
         self,
         source: str | Program | Subroutine,
@@ -156,62 +251,97 @@ class CompilerSession:
         options: CompilerOptions | None = None,
     ) -> CompiledProgram:
         """Compile through the cache; a warm hit does no compilation work."""
+        return self.compile_cached(source, bindings, processors, options)[0]
+
+    def compile_cached(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[CompiledProgram, bool]:
+        """:meth:`compile`, additionally reporting whether it was a hit.
+
+        The boolean is the per-call truth the aggregate ``hits`` counter
+        cannot give a concurrent caller (another thread may advance the
+        counters between a call's start and end).
+        """
         options = options or self.options
         if processors is None:
             processors = self.processors
-        digest = _source_digest(source)
-        key = self._key(digest, bindings, processors, options)
-        cached = self._cache.get(key)
+        if digest is None:
+            digest = source_digest(source)
+        with self._lock:
+            key = self._key(digest, bindings, processors, options)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+            else:
+                # counted before the pipeline runs, so a compile that
+                # raises still shows up in the shard's miss statistics
+                self.misses += 1
         if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return _with_bindings(cached, bindings)
-        self.misses += 1
-        pipeline = PassManager.pipeline_for(options)
-        compiled = pipeline.compile(
+            # outside the lock: wrapper construction is pure
+            return with_bindings(cached, bindings), True
+        # the pipeline runs unlocked; concurrent misses for the same key
+        # both compile (benign: artifacts are interchangeable, last insert
+        # wins) -- the service layer's single-flight prevents the repeat
+        compiled = PassManager.pipeline_for(options).compile(
             source, bindings=bindings, processors=processors, options=options
         )
-        if compiled.trace is not None:
-            self.passes_run += len(compiled.trace.records)
-        # learn which bindings this source actually compiles against, then
-        # store under the refined key so runtime-only bindings don't miss
-        if (
-            digest not in self._binding_names
-            and compiled.report is not None
-            and compiled.report.binding_names is not None
-        ):
-            self._binding_names[digest] = compiled.report.binding_names
+        compiled.freeze()
+        with self._lock:
+            if compiled.trace is not None:
+                self.passes_run += len(compiled.trace.records)
+            # learn which bindings this source actually compiles against,
+            # then store under the refined key so runtime-only bindings
+            # don't miss; the key is recomputed unconditionally because a
+            # concurrent miss may have taught the session the binding
+            # names since this call computed its key -- inserting under
+            # the stale unrefined key would leave a dead LRU entry
+            if (
+                digest not in self._binding_names
+                and compiled.report is not None
+                and compiled.report.binding_names is not None
+            ):
+                self._binding_names[digest] = compiled.report.binding_names
             key = self._key(digest, bindings, processors, options)
-        self._cache[key] = compiled
-        while len(self._cache) > self.max_entries:
-            evicted_key, _ = self._cache.popitem(last=False)
-            self.evictions += 1
-            # drop the digest's learned binding names once its last artifact
-            # is gone, so _binding_names stays bounded with the cache
-            digest_gone = evicted_key[0]
-            if not any(k[0] == digest_gone for k in self._cache):
-                self._binding_names.pop(digest_gone, None)
-        return compiled
+            self._cache[key] = compiled
+            while len(self._cache) > self.max_entries:
+                evicted_key, _ = self._cache.popitem(last=False)
+                self.evictions += 1
+                # drop the digest's learned binding names once its last
+                # artifact is gone, so _binding_names stays bounded
+                digest_gone = evicted_key[0]
+                if not any(k[0] == digest_gone for k in self._cache):
+                    self._binding_names.pop(digest_gone, None)
+        return compiled, False
 
     def cache_clear(self) -> None:
-        self._cache.clear()
-        self._binding_names.clear()
+        with self._lock:
+            self._cache.clear()
+            self._binding_names.clear()
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     @property
     def stats(self) -> dict[str, object]:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._cache),
-            "passes_run": self.passes_run,
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._cache),
+                "passes_run": self.passes_run,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
 
     # -- execution ---------------------------------------------------------
 

@@ -48,6 +48,17 @@ class PipelineError(ReproError):
     """Raised on an ill-formed pass pipeline (unmet inputs, bad order)."""
 
 
+class ArtifactFrozenError(ReproError):
+    """A frozen (cached, shareable) compiled artifact was mutated.
+
+    :class:`~repro.compiler.session.CompilerSession` freezes artifacts
+    before inserting them into its cache: from then on the object may be
+    executed by any number of threads concurrently, so any in-place
+    mutation -- setting an attribute, building into the attached plan
+    table -- is a bug and raises immediately instead of corrupting
+    another request's run."""
+
+
 # ---------------------------------------------------------------------------
 # mapping / layout errors
 # ---------------------------------------------------------------------------

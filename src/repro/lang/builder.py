@@ -206,4 +206,5 @@ class _ElseSwitcher:
 
 
 def program(*subs: Subroutine | SubroutineBuilder) -> Program:
+    """Assemble subroutines (or builders, built in place) into a Program."""
     return Program(tuple(s.build() if isinstance(s, SubroutineBuilder) else s for s in subs))

@@ -20,6 +20,30 @@ Verification hooks:
   traffic oracle: the actually measured bytes/messages as a
   :class:`~repro.spmd.cost.TrafficEstimate`, directly comparable with the
   compile-time prediction of :func:`repro.spmd.traffic.predict_traffic`.
+
+Concurrency contract (audited for the service layer)
+----------------------------------------------------
+
+Any number of :class:`Executor` instances may run the *same*
+:class:`CompiledProgram` concurrently, one per thread:
+
+* every piece of mutable run state is per-executor -- frames,
+  :class:`~repro.runtime.status.ArrayRuntime` descriptors, the
+  :class:`~repro.runtime.memory.MemoryManager`, the machine and its
+  clocks/stats, and the communication-plan *overlay* (plan-table misses
+  are built into ``self._plan_overlay``, never into the shared artifact's
+  frozen :class:`~repro.spmd.schedule.CommPlanTable`, which is only ever
+  ``lookup``-ed);
+* the artifact is treated strictly read-only (generated ops, version
+  tables, construction results, resolved subroutines); session-cached
+  artifacts additionally *enforce* this by freezing.
+
+The two sharing hazards live outside the executor and are the caller's
+to respect: an :class:`ExecutionEnv` must not be shared across concurrent
+runs (its condition-sequence iterators are stateful -- build one env per
+run, as ``CompilerSession.run`` and the service layer do), and
+user-supplied kernels must not close over state mutated across requests
+(:func:`default_kernel` is stateless).
 """
 
 from __future__ import annotations
@@ -245,6 +269,17 @@ class ExecutionResult:
 
 
 class Executor:
+    """Interprets one compiled program on a simulated machine.
+
+    Walks the structured body, runs the generated runtime ops (status
+    checks, guarded copies, liveness updates, cleanup) and executes
+    compute kernels against the current version's distributed storage.
+    One executor serves one run: instantiate a fresh one (with a fresh
+    :class:`~repro.spmd.machine.Machine` and :class:`ExecutionEnv`) per
+    execution -- the artifact itself may be shared across any number of
+    concurrent executors (see the module docstring's concurrency
+    contract)."""
+
     def __init__(
         self,
         compiled: CompiledProgram,
@@ -573,6 +608,10 @@ def execute(
     ``entry`` defaults to the program's first subroutine; ``machine``
     defaults to a fresh machine matching the compiled processor arrangement.
     The machine stays reachable through ``result.machine``.
+
+    Safe to call concurrently with the same ``compiled`` artifact as long
+    as each call gets its own ``machine`` and ``env`` (see the module
+    docstring's concurrency contract).
     """
     if entry is None:
         entry = next(iter(compiled.subroutines))

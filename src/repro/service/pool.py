@@ -1,0 +1,166 @@
+"""Digest-sharded pool of compiler sessions.
+
+One global :class:`~repro.compiler.session.CompilerSession` would make
+every concurrent compile contend on a single cache lock and a single LRU
+list.  A :class:`SessionPool` splits the artifact cache into N
+independently locked shards (each a full ``CompilerSession``), routed by
+the *source digest*: requests for the same source always land on the same
+shard (so its learned runtime-only-binding knowledge and LRU locality
+stay intact), while compiles of distinct sources almost always land on
+different shards and never contend.
+
+The pool is a pure cache fabric -- request admission, single-flight
+deduplication and worker scheduling live one layer up in
+:class:`~repro.service.service.CompileService`.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.artifacts import CompiledProgram, CompilerOptions
+from repro.compiler.session import CompilerSession, SessionKey, source_digest
+from repro.lang.ast_nodes import Program, Subroutine
+from repro.mapping.processors import ProcessorArrangement
+
+
+class SessionPool:
+    """N digest-sharded, individually locked LRU compiler-session shards.
+
+    ``shards`` fixes the shard count for the pool's lifetime (routing is
+    ``int(digest, 16) % shards``, so changing it would orphan cached
+    artifacts).  ``processors``/``options`` are defaults handed to every
+    shard session, and ``max_entries_per_shard`` bounds each shard's LRU
+    independently -- total capacity is ``shards * max_entries_per_shard``.
+
+    Every public method is thread-safe: shard sessions lock their own
+    cache and never hold the lock across a pipeline run, so two compiles
+    of distinct sources proceed fully in parallel even on one shard.
+    """
+
+    def __init__(
+        self,
+        shards: int = 8,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        max_entries_per_shard: int = 64,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._shards = tuple(
+            CompilerSession(
+                processors=processors,
+                options=options,
+                max_entries=max_entries_per_shard,
+            )
+            for _ in range(shards)
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """Number of independent session shards."""
+        return len(self._shards)
+
+    def shard_index(self, digest: str) -> int:
+        """The shard a source digest routes to (stable for the pool's life)."""
+        return int(digest, 16) % len(self._shards)
+
+    def shard(self, index: int) -> CompilerSession:
+        """Direct access to one shard session (stats, cache inspection)."""
+        return self._shards[index]
+
+    def session_for(self, source: str | Program | Subroutine) -> CompilerSession:
+        """The shard session responsible for this source."""
+        return self._shards[self.shard_index(source_digest(source))]
+
+    # -- compile -----------------------------------------------------------
+
+    def cache_key(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[int, SessionKey]:
+        """(shard index, artifact key) -- the identity single-flight uses."""
+        if digest is None:
+            digest = source_digest(source)
+        idx = self.shard_index(digest)
+        key = self._shards[idx].cache_key(
+            source, bindings, processors, options, digest=digest
+        )
+        return idx, key
+
+    def lookup(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> CompiledProgram | None:
+        """Peek the responsible shard: the artifact if cached, else None."""
+        if digest is None:
+            digest = source_digest(source)
+        return self._shards[self.shard_index(digest)].lookup(
+            source, bindings, processors, options, digest=digest
+        )
+
+    def compile(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+    ) -> CompiledProgram:
+        """Compile through the responsible shard's artifact cache."""
+        return self.compile_cached(source, bindings, processors, options)[0]
+
+    def compile_cached(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[CompiledProgram, bool]:
+        """:meth:`compile`, additionally reporting whether it was a hit."""
+        if digest is None:
+            digest = source_digest(source)
+        return self._shards[self.shard_index(digest)].compile_cached(
+            source, bindings, processors, options, digest=digest
+        )
+
+    # -- maintenance / observability ---------------------------------------
+
+    def cache_clear(self) -> None:
+        """Drop every shard's cached artifacts and learned binding names."""
+        for s in self._shards:
+            s.cache_clear()
+
+    def shard_hit_rates(self) -> list[float]:
+        """Per-shard cache hit rate, in shard order."""
+        return [float(s.stats["hit_rate"]) for s in self._shards]
+
+    @property
+    def stats(self) -> dict[str, object]:
+        """Aggregate cache statistics plus the per-shard breakdown."""
+        per_shard = [s.stats for s in self._shards]
+        hits = sum(int(s["hits"]) for s in per_shard)
+        misses = sum(int(s["misses"]) for s in per_shard)
+        total = hits + misses
+        return {
+            "shards": len(self._shards),
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(int(s["evictions"]) for s in per_shard),
+            "entries": sum(int(s["entries"]) for s in per_shard),
+            "passes_run": sum(int(s["passes_run"]) for s in per_shard),
+            "hit_rate": (hits / total) if total else 0.0,
+            "shard_hit_rates": [float(s["hit_rate"]) for s in per_shard],
+            "shard_entries": [int(s["entries"]) for s in per_shard],
+        }

@@ -1,0 +1,460 @@
+"""The concurrent compile-and-run front door.
+
+:class:`CompileService` turns the repo's single-threaded compile/execute
+machinery into a thread-safe service: requests -- ``(source, bindings,
+conditions, ...)`` tuples -- are accepted individually (:meth:`submit`)
+or in batches (:meth:`run_batch`), executed on a bounded worker pool, and
+answered with per-request :class:`ServiceResult` objects plus an
+aggregate :class:`ServiceStats` surface (throughput, p50/p99 latency,
+shard hit rates, single-flight dedup saves, queue depth).
+
+Three mechanisms make request-time compilation scale:
+
+* **sharded caching** -- artifacts live in a
+  :class:`~repro.service.pool.SessionPool`: N digest-sharded,
+  individually locked LRU session shards, so concurrent compiles of
+  distinct sources never contend on one lock;
+* **single-flight deduplication** -- concurrent cache *misses* for the
+  same artifact key wait on one pipeline run instead of racing N
+  identical compiles (the classic ``singleflight`` pattern); the leader
+  compiles, followers block on an event and share the frozen artifact;
+* **immutable artifacts** -- cached programs are frozen
+  (:meth:`~repro.compiler.artifacts.CompiledProgram.freeze`), so any
+  number of workers execute the same artifact concurrently, each on its
+  own simulated :class:`~repro.spmd.machine.Machine` (see the executor's
+  audited concurrency contract).
+
+Since the machine this repo targets is *simulated*, the serving layer
+models its transport the same way: a request may carry ``io_seconds``,
+the modeled client/network transfer time, which the worker genuinely
+sleeps (half on ingest, half on respond).  Like socket I/O in a real
+server it releases the GIL and overlaps across workers -- this is what
+the service-level benchmark scales against on a single-core host, and it
+is recorded verbatim in ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping as TypingMapping
+
+import numpy as np
+
+from repro.compiler.artifacts import CompiledProgram, CompilerOptions
+from repro.compiler.session import source_digest, with_bindings
+from repro.lang.ast_nodes import Program, Subroutine
+from repro.mapping.processors import ProcessorArrangement
+from repro.runtime.executor import ExecutionEnv, ExecutionResult, execute
+from repro.service.pool import SessionPool
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "ServiceResult",
+    "ServiceStats",
+]
+
+
+@dataclass
+class CompileRequest:
+    """One compile-and-run request, as a client would submit it.
+
+    ``source``/``bindings``/``processors``/``options`` determine the
+    compiled artifact (and hence the cache/single-flight identity);
+    ``conditions``/``inputs``/``kernels``/``entry`` only affect the
+    execution.  ``run=False`` requests compilation alone (cache warming).
+    ``io_seconds`` is the modeled request transport time -- see the
+    module docstring.
+    """
+
+    source: str | Program | Subroutine
+    bindings: dict[str, int] | None = None
+    conditions: dict | None = None
+    inputs: dict | None = None
+    kernels: dict | None = None
+    entry: str | None = None
+    processors: ProcessorArrangement | int | None = None
+    options: CompilerOptions | None = None
+    check_invariants: bool = False
+    dtype: object = None
+    run: bool = True
+    io_seconds: float = 0.0
+
+
+@dataclass
+class ServiceResult:
+    """Per-request outcome: the execution result or the contained error.
+
+    ``cached`` says the artifact came straight from a shard cache;
+    ``deduped`` says this request waited on another request's in-flight
+    compile (a single-flight save).  Workers never leak exceptions: a
+    failed request resolves with ``error`` set and ``result=None``.
+    """
+
+    index: int
+    result: ExecutionResult | None = None
+    compiled: CompiledProgram | None = None
+    error: BaseException | None = None
+    cached: bool = False
+    deduped: bool = False
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed without an error."""
+        return self.error is None
+
+    def value(self, name: str) -> np.ndarray:
+        """The named array's final global values (raises on failed requests)."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result.value(name)
+
+
+class ServiceStats:
+    """Thread-safe service telemetry with a percentile-ready latency log.
+
+    Counters cover the request lifecycle (submitted / completed / errors),
+    the cache interaction (hits, misses, single-flight dedup saves) and
+    the queue (current depth, high-water mark).  :meth:`snapshot` derives
+    throughput (completed requests per wall second between the first
+    submit and the last completion) and p50/p99 latency from a bounded
+    reservoir of the most recent request latencies.
+
+    Accounting invariant: every completed request that *obtained an
+    artifact* is exactly one of ``compile_hits`` / ``compile_misses`` /
+    ``dedup_saves``; requests that failed before obtaining one count only
+    in ``errors`` (the shard sessions still record their miss, so pool
+    statistics additionally see failed compile attempts).
+    """
+
+    def __init__(self, latency_window: int = 8192):
+        self._lock = threading.Lock()
+        self.latency_window = latency_window
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
+        self.dedup_saves = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self._latencies: list[float] = []
+        self._first_submit: float | None = None
+        self._last_done: float | None = None
+
+    # -- lifecycle hooks (called by the service) ---------------------------
+
+    def record_submit(self, now: float) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth += 1
+            self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_start(self) -> None:
+        with self._lock:
+            self.queue_depth -= 1
+
+    def record_submit_failed(self) -> None:
+        """Undo one :meth:`record_submit` whose request never reached a worker."""
+        with self._lock:
+            self.submitted -= 1
+            self.queue_depth -= 1
+
+    def record_dedup_save(self) -> None:
+        with self._lock:
+            self.dedup_saves += 1
+
+    def record_done(self, res: ServiceResult, now: float) -> None:
+        with self._lock:
+            self.completed += 1
+            if res.error is not None:
+                self.errors += 1
+            # dedup followers are counted once as dedup_saves: they never
+            # touched a shard cache, so they are neither hits nor misses
+            if res.compiled is not None and not res.deduped:
+                if res.cached:
+                    self.compile_hits += 1
+                else:
+                    self.compile_misses += 1
+            self._latencies.append(res.seconds)
+            if len(self._latencies) > self.latency_window:
+                del self._latencies[: -self.latency_window]
+            self._last_done = now
+
+    # -- derived -----------------------------------------------------------
+
+    @staticmethod
+    def _percentile(sorted_latencies: list[float], q: float) -> float:
+        if not sorted_latencies:
+            return 0.0
+        i = max(0, int(np.ceil(q * len(sorted_latencies))) - 1)
+        return sorted_latencies[i]
+
+    def snapshot(self) -> dict[str, object]:
+        """A consistent point-in-time view of every service metric."""
+        with self._lock:
+            lat = sorted(self._latencies)
+            elapsed = (
+                (self._last_done - self._first_submit)
+                if self._first_submit is not None and self._last_done is not None
+                else 0.0
+            )
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "errors": self.errors,
+                "compile_hits": self.compile_hits,
+                "compile_misses": self.compile_misses,
+                "dedup_saves": self.dedup_saves,
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "throughput_rps": (self.completed / elapsed) if elapsed > 0 else 0.0,
+                "p50_latency_ms": self._percentile(lat, 0.50) * 1e3,
+                "p99_latency_ms": self._percentile(lat, 0.99) * 1e3,
+                "elapsed_seconds": elapsed,
+            }
+
+
+@dataclass
+class _InFlight:
+    """One in-progress compile other requests may wait on."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    compiled: CompiledProgram | None = None
+    cached: bool = False
+    error: BaseException | None = None
+
+
+def _copy_exception(exc: BaseException) -> BaseException:
+    """A per-raiser copy of a shared exception (fresh traceback slot).
+
+    Followers of a failed flight all re-raise the leader's error; raising
+    the *same* instance from several threads would interleave their
+    tracebacks on one object.  Exotic exceptions that refuse to copy are
+    raised as-is (correctness over cosmetics)."""
+    try:
+        dup = copy.copy(exc)
+        dup.__traceback__ = None
+        dup.__cause__ = exc
+        return dup
+    except Exception:  # pragma: no cover - copy-resistant exception type
+        return exc
+
+
+class CompileService:
+    """Thread-safe compile-and-run service over a sharded session pool.
+
+    ``workers`` bounds the worker pool (and therefore the number of
+    in-flight requests); everything beyond it queues, which
+    :class:`ServiceStats` exposes as queue depth.  ``pool`` may be shared
+    between services; by default each service builds its own
+    :class:`~repro.service.pool.SessionPool` with ``shards`` shards and
+    the given session defaults.
+
+    Use as a context manager (or call :meth:`close`) to shut the worker
+    pool down deterministically::
+
+        with CompileService(processors=4, workers=4) as svc:
+            results = svc.run_batch([{"source": SRC, "bindings": {"n": 16}}])
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool | None = None,
+        *,
+        workers: int = 4,
+        shards: int = 8,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        max_entries_per_shard: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.pool = pool or SessionPool(
+            shards=shards,
+            processors=processors,
+            options=options,
+            max_entries_per_shard=max_entries_per_shard,
+        )
+        self.workers = workers
+        self.stats = ServiceStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # -- single-flight compile ---------------------------------------------
+
+    def compile(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+    ) -> tuple[CompiledProgram, bool, bool]:
+        """Compile with single-flight dedup; returns (artifact, cached, deduped).
+
+        Warm requests are answered by a shard-cache peek and never touch
+        the service-global in-flight table (the pool's sharded locks are
+        the only contention).  Concurrent calls that *miss* on the same
+        artifact key collapse onto one pipeline run: the first caller
+        (leader) compiles through the pool, the rest (followers) wait on
+        the leader's event and share the frozen artifact -- rebased onto
+        their own bindings, exactly as a cache hit would be.  A leader's
+        compile error propagates to every follower of that flight (as a
+        per-follower copy, so tracebacks stay per-thread); only
+        successful waits count as dedup saves.
+        """
+        digest = source_digest(source)  # hashed once, threaded everywhere
+        cached_art = self.pool.lookup(
+            source, bindings, processors, options, digest=digest
+        )
+        if cached_art is not None:
+            return cached_art, True, False
+        key = self.pool.cache_key(source, bindings, processors, options, digest=digest)
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise _copy_exception(flight.error)
+            assert flight.compiled is not None
+            self.stats.record_dedup_save()
+            # the leader's artifact carries the *leader's* runtime-only
+            # bindings; rebase onto this caller's, like any cache hit
+            return with_bindings(flight.compiled, bindings), flight.cached, True
+        try:
+            compiled, cached = self.pool.compile_cached(
+                source, bindings, processors, options, digest=digest
+            )
+            flight.compiled, flight.cached = compiled, cached
+            return compiled, cached, False
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+
+    # -- request handling --------------------------------------------------
+
+    @staticmethod
+    def _coerce(request: CompileRequest | TypingMapping, index: int) -> CompileRequest:
+        if isinstance(request, CompileRequest):
+            return request
+        if isinstance(request, TypingMapping):
+            return CompileRequest(**request)
+        raise TypeError(
+            f"request #{index} must be a CompileRequest or a mapping of its "
+            f"fields, not {type(request).__name__}"
+        )
+
+    def _handle(self, request: CompileRequest, index: int) -> ServiceResult:
+        self.stats.record_start()
+        t0 = time.perf_counter()
+        res = ServiceResult(index=index)
+        try:
+            if request.io_seconds > 0:  # modeled request ingest (see module doc)
+                time.sleep(request.io_seconds / 2)
+            tc = time.perf_counter()
+            compiled, res.cached, res.deduped = self.compile(
+                request.source,
+                bindings=request.bindings,
+                processors=request.processors,
+                options=request.options,
+            )
+            res.compiled = compiled
+            res.compile_seconds = time.perf_counter() - tc
+            if request.run:
+                tr = time.perf_counter()
+                env = ExecutionEnv(
+                    conditions=dict(request.conditions or {}),
+                    bindings=dict(request.bindings or {}),
+                    kernels=dict(request.kernels or {}),
+                    inputs=dict(request.inputs or {}),
+                    check_invariants=request.check_invariants,
+                    dtype=np.float64 if request.dtype is None else request.dtype,
+                )
+                res.result = execute(compiled, entry=request.entry, env=env)
+                res.run_seconds = time.perf_counter() - tr
+            if request.io_seconds > 0:  # modeled response transfer
+                time.sleep(request.io_seconds / 2)
+        except BaseException as exc:
+            res.error = exc
+        res.seconds = time.perf_counter() - t0
+        self.stats.record_done(res, time.perf_counter())
+        return res
+
+    def submit(
+        self, request: CompileRequest | TypingMapping | str, /, **fields
+    ) -> "Future[ServiceResult]":
+        """Enqueue one request; the future resolves to a :class:`ServiceResult`.
+
+        Accepts a :class:`CompileRequest`, a mapping of its fields, or the
+        source plus the fields as keywords (``svc.submit(SRC, bindings=...,
+        conditions=...)``).  The future never raises for request-level
+        failures -- inspect ``result.error``.
+        """
+        if self._closed:
+            raise RuntimeError("CompileService is closed")
+        if isinstance(request, (str, Program, Subroutine)):
+            request = CompileRequest(source=request, **fields)
+        elif fields:
+            raise TypeError("keyword fields are only allowed with a bare source")
+        index = self.stats.submitted  # informational; racy order is fine
+        req = self._coerce(request, index)
+        self.stats.record_submit(time.perf_counter())
+        try:
+            return self._executor.submit(self._handle, req, index)
+        except RuntimeError:
+            # close() raced past the _closed check: the request will never
+            # run, so take it back out of the submitted/queue gauges
+            self.stats.record_submit_failed()
+            raise
+
+    def run_batch(
+        self, requests: "list[CompileRequest | TypingMapping]"
+    ) -> list[ServiceResult]:
+        """Submit a batch and wait; results come back in request order.
+
+        Identical in-flight compiles across the batch are deduplicated by
+        single-flight, distinct sources spread over the pool's shards, and
+        at most ``workers`` requests execute at once.
+        """
+        futures = [self.submit(r) for r in requests]  # submit coerces
+        results = [f.result() for f in futures]
+        for i, r in enumerate(results):
+            r.index = i  # batch position, authoritative over submit order
+        return results
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the worker pool; further submits raise."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -50,7 +50,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import ScheduleError
+from repro.errors import ArtifactFrozenError, ScheduleError
 from repro.mapping.mapping import Mapping
 from repro.mapping.ownership import layout_of
 from repro.spmd.cost import CostModel
@@ -377,13 +377,28 @@ class CommPlanTable:
     the executor looks plans up at each remapping (building on demand only
     when the pass was not run) and counts hits/builds in the machine's
     :class:`~repro.spmd.message.TrafficStats`.
+
+    A table attached to a session-cached artifact is *frozen*
+    (:meth:`freeze`): concurrent executors may :meth:`lookup` freely but
+    :meth:`build` raises :class:`~repro.errors.ArtifactFrozenError` --
+    per-run plan misses belong in the executor's own overlay table, never
+    in the shared artifact.
     """
 
     policy: str = DEFAULT_POLICY
     _plans: dict[tuple, CommSchedule] = field(default_factory=dict)
+    _frozen: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_policy(self.policy)
+
+    def freeze(self) -> None:
+        """Forbid further :meth:`build` calls (shared-artifact contract)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     @staticmethod
     def _key(src: Mapping, dst: Mapping) -> tuple:
@@ -403,6 +418,12 @@ class CommPlanTable:
         key = self._key(src, dst)
         plan = self._plans.get(key)
         if plan is None:
+            if self._frozen:
+                raise ArtifactFrozenError(
+                    "cannot build a plan into a frozen CommPlanTable: the "
+                    "table belongs to a cached artifact shared across "
+                    "threads (build into an executor-local overlay instead)"
+                )
             plan = plan_redistribution(src, dst, self.policy)
             self._plans[key] = plan
         return plan

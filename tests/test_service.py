@@ -1,0 +1,426 @@
+"""Service layer: sharded sessions, single-flight, concurrent cache safety.
+
+The properties asserted here are the service's contract:
+
+* concurrent execution is *differentially sound*: any mix of repeated and
+  distinct sources spread over a worker pool produces bit-identical
+  values to running the same requests serially;
+* cache statistics stay consistent under concurrency (shard hits + misses
+  == compile calls that reached a shard; service hits + misses + dedup
+  saves == completed requests);
+* single-flight deduplication is observable: concurrent misses for one
+  artifact key run the pipeline once;
+* cached artifacts are frozen -- mutation raises instead of corrupting a
+  concurrent run -- and one frozen artifact may be executed by many
+  threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompileRequest,
+    CompileService,
+    CompilerOptions,
+    CompilerSession,
+    ExecutionEnv,
+    Machine,
+    SessionPool,
+    compile_program,
+    execute,
+)
+from repro.apps.workloads import random_environment, random_legal_subroutine
+from repro.compiler.session import source_digest
+from repro.errors import ArtifactFrozenError
+from repro.spmd.schedule import CommPlanTable
+
+FIG10 = """
+subroutine remap(A, m)
+  integer m, n, p
+  real A(n,n), B(n,n), C(n,n)
+  intent inout A
+!hpf$ align with A :: B, C
+!hpf$ dynamic A, B, C
+!hpf$ distribute A(block, *)
+  compute "init" writes B reads A
+  if c1 then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A, p reads A, B
+  else
+!hpf$   redistribute A(block, block)
+    compute writes p reads A
+  endif
+  do i = 1, m
+!hpf$   redistribute A(*, block)
+    compute writes C reads A
+!hpf$   redistribute A(block, *)
+    compute writes A reads A, C
+  enddo
+end
+"""
+
+
+def _variant(i: int) -> str:
+    """A family of distinct sources (digest differs per member)."""
+    return FIG10.replace("subroutine remap", f"subroutine remap{i}")
+
+
+# ---------------------------------------------------------------------------
+# pool: sharding and aggregate stats
+# ---------------------------------------------------------------------------
+
+
+def test_pool_routes_same_source_to_same_shard():
+    pool = SessionPool(shards=4, processors=4)
+    d = source_digest(FIG10)
+    idx = pool.shard_index(d)
+    assert pool.session_for(FIG10) is pool.shard(idx)
+    # bindings do not change the shard: the digest is the routing key
+    i1, _ = pool.cache_key(FIG10, bindings={"n": 8, "m": 1})
+    i2, _ = pool.cache_key(FIG10, bindings={"n": 16, "m": 2})
+    assert i1 == i2 == idx
+
+
+def test_pool_spreads_distinct_sources():
+    pool = SessionPool(shards=8, processors=4)
+    shards = {pool.shard_index(source_digest(_variant(i))) for i in range(32)}
+    assert len(shards) > 1  # sha256 routing actually spreads
+
+
+def test_pool_aggregate_stats_match_shards():
+    pool = SessionPool(shards=3, processors=4)
+    for i in range(4):
+        pool.compile(_variant(i), bindings={"n": 8, "m": 1})
+        pool.compile(_variant(i), bindings={"n": 8, "m": 1})
+    stats = pool.stats
+    assert stats["misses"] == 4
+    assert stats["hits"] == 4
+    assert stats["hits"] + stats["misses"] == 8
+    assert len(stats["shard_hit_rates"]) == 3
+    per_shard = [pool.shard(i).stats for i in range(3)]
+    assert sum(s["hits"] for s in per_shard) == stats["hits"]
+    assert sum(s["entries"] for s in per_shard) == stats["entries"]
+
+
+def test_pool_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        SessionPool(shards=0)
+
+
+# ---------------------------------------------------------------------------
+# service: batches, stats consistency, error containment
+# ---------------------------------------------------------------------------
+
+
+def test_run_batch_results_in_order_and_consistent_stats():
+    with CompileService(processors=4, workers=4, shards=4) as svc:
+        n_requests = 12
+        reqs = [
+            CompileRequest(
+                _variant(i % 3),
+                bindings={"n": 8, "m": 2},
+                conditions={"c1": i % 2 == 0},
+            )
+            for i in range(n_requests)
+        ]
+        results = svc.run_batch(reqs)
+        assert [r.index for r in results] == list(range(n_requests))
+        assert all(r.ok for r in results)
+        snap = svc.stats.snapshot()
+        assert snap["completed"] == snap["submitted"] == n_requests
+        assert snap["errors"] == 0
+        # every completed request is exactly one of: shard hit, shard miss,
+        # single-flight save
+        assert (
+            snap["compile_hits"] + snap["compile_misses"] + snap["dedup_saves"]
+            == n_requests
+        )
+        # shard counters agree with the service's view of who reached a shard
+        pool = svc.pool.stats
+        assert pool["hits"] + pool["misses"] == n_requests - snap["dedup_saves"]
+        assert pool["hits"] == snap["compile_hits"]
+        assert pool["misses"] == snap["compile_misses"]
+        assert snap["queue_depth"] == 0
+        assert snap["throughput_rps"] > 0
+        assert snap["p99_latency_ms"] >= snap["p50_latency_ms"] > 0
+
+
+def test_submit_accepts_source_mapping_and_request():
+    with CompileService(processors=4, workers=2) as svc:
+        f1 = svc.submit(FIG10, bindings={"n": 8, "m": 1}, conditions={"c1": True})
+        f2 = svc.submit({"source": FIG10, "bindings": {"n": 8, "m": 1},
+                         "conditions": {"c1": True}})
+        f3 = svc.submit(
+            CompileRequest(FIG10, bindings={"n": 8, "m": 1}, conditions={"c1": True})
+        )
+        vals = [f.result() for f in (f1, f2, f3)]
+        assert all(r.ok for r in vals)
+        a = vals[0].value("a")
+        assert all(np.array_equal(a, r.value("a")) for r in vals[1:])
+
+
+def test_compile_only_request():
+    with CompileService(processors=4, workers=2) as svc:
+        res = svc.submit(CompileRequest(FIG10, bindings={"n": 8, "m": 1}, run=False))
+        r = res.result()
+        assert r.ok and r.result is None and r.compiled is not None
+        assert r.compiled.frozen
+
+
+def test_errors_are_contained_per_request():
+    with CompileService(processors=4, workers=2) as svc:
+        results = svc.run_batch(
+            [
+                {"source": FIG10, "bindings": {"n": 8, "m": 1},
+                 "conditions": {"c1": True}},
+                {"source": "subroutine broken(\n"},  # parse error
+            ]
+        )
+        assert results[0].ok
+        assert not results[1].ok and results[1].error is not None
+        with pytest.raises(Exception):
+            results[1].value("a")
+        snap = svc.stats.snapshot()
+        assert snap["errors"] == 1 and snap["completed"] == 2
+
+
+def test_closed_service_rejects_submits():
+    svc = CompileService(processors=4, workers=1)
+    svc.close()
+    with pytest.raises(RuntimeError):
+        svc.submit(FIG10, bindings={"n": 8, "m": 1})
+
+
+# ---------------------------------------------------------------------------
+# single-flight deduplication
+# ---------------------------------------------------------------------------
+
+
+def test_single_flight_collapses_concurrent_identical_misses(monkeypatch):
+    svc = CompileService(processors=4, workers=4, shards=2)
+    real = svc.pool.compile_cached
+    started = threading.Event()
+
+    def slow_compile(*args, **kwargs):
+        started.set()
+        time.sleep(0.25)  # hold the flight open while followers arrive
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(svc.pool, "compile_cached", slow_compile)
+    with svc:
+        futures = [
+            svc.submit(FIG10, bindings={"n": 8, "m": 1}, conditions={"c1": True})
+            for _ in range(4)
+        ]
+        assert started.wait(5.0)
+        results = [f.result() for f in futures]
+    assert all(r.ok for r in results)
+    assert sum(r.deduped for r in results) == 3
+    # the pipeline ran exactly once: one shard miss, zero hits
+    assert svc.pool.stats["misses"] == 1
+    assert svc.pool.stats["hits"] == 0
+    assert svc.stats.snapshot()["dedup_saves"] == 3
+    # followers share the leader's frozen artifact object
+    arts = {id(r.compiled) for r in results}
+    assert len(arts) == 1
+
+
+def test_single_flight_follower_gets_own_bindings(monkeypatch):
+    """A follower's artifact must carry the follower's runtime-only bindings.
+
+    Setup: the shard has *learned* that ``m`` is runtime-only (from a
+    level-3 compile), so a level-2 compile of the same source keys
+    without ``m`` -- two concurrent level-2 requests with different ``m``
+    share one flight.  The follower must not inherit the leader's ``m``
+    baked into the artifact's resolved subroutines.
+    """
+    svc = CompileService(processors=4, workers=4, shards=2)
+    # teach the shard session m is runtime-only (binding names are
+    # learned per source digest, across options)
+    svc.pool.compile(FIG10, bindings={"n": 8, "m": 1})
+    real = svc.pool.compile_cached
+
+    def slow_compile(*args, **kwargs):
+        time.sleep(0.25)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(svc.pool, "compile_cached", slow_compile)
+    opts = CompilerOptions(level=2)
+    with svc:
+        futures = [
+            svc.submit(FIG10, bindings={"n": 8, "m": m}, options=opts,
+                       conditions={"c1": True})
+            for m in (3, 4)
+        ]
+        results = [f.result() for f in futures]
+    assert all(r.ok for r in results)
+    assert sum(r.deduped for r in results) == 1
+    for r, m in zip(results, (3, 4)):
+        sub = r.compiled.get("remap").sub
+        assert sub.bindings.get("m") == m, (
+            f"artifact for request m={m} carries bindings {sub.bindings}"
+        )
+
+
+def test_single_flight_propagates_leader_error():
+    with CompileService(processors=4, workers=4) as svc:
+        bad = "subroutine nope(\n"
+        results = svc.run_batch([{"source": bad} for _ in range(4)])
+    assert all(not r.ok for r in results)
+
+
+def test_distinct_keys_do_not_dedup():
+    with CompileService(processors=4, workers=4) as svc:
+        results = svc.run_batch(
+            [
+                {"source": FIG10, "bindings": {"n": 8, "m": 1},
+                 "conditions": {"c1": True}},
+                # n is compile-relevant (declaration extent): different key
+                {"source": FIG10, "bindings": {"n": 12, "m": 1},
+                 "conditions": {"c1": True}},
+            ]
+        )
+    assert all(r.ok for r in results)
+    assert svc.pool.stats["misses"] == 2
+
+
+# ---------------------------------------------------------------------------
+# frozen artifacts
+# ---------------------------------------------------------------------------
+
+
+def test_session_cached_artifacts_are_frozen():
+    session = CompilerSession(processors=4)
+    compiled = session.compile(FIG10, bindings={"n": 8, "m": 1})
+    assert compiled.frozen
+    with pytest.raises(ArtifactFrozenError):
+        compiled.report = None
+    with pytest.raises(ArtifactFrozenError):
+        compiled.get("remap").code = None
+
+
+def test_direct_compilation_stays_mutable():
+    compiled = compile_program(FIG10, bindings={"n": 8, "m": 1}, processors=4)
+    assert not compiled.frozen
+    compiled.report = compiled.report  # plain attribute write still allowed
+
+
+def test_frozen_plan_table_rejects_build():
+    opts = CompilerOptions(level=3, schedule="round-robin")
+    session = CompilerSession(processors=4, options=opts)
+    compiled = session.compile(FIG10, bindings={"n": 8, "m": 1})
+    assert compiled.plans is not None and compiled.plans.frozen
+    versions = compiled.get("remap").versions.versions("a")
+    # looking up precompiled plans is fine ...
+    assert compiled.plans.lookup(versions[0], versions[1]) is not None
+    # ... but building a novel pair into the shared table is not
+    fresh = CommPlanTable("round-robin")
+    fresh.freeze()
+    with pytest.raises(ArtifactFrozenError):
+        fresh.build(versions[0], versions[1])
+
+
+def test_frozen_artifact_still_executes_with_binding_overlay():
+    session = CompilerSession(processors=4)
+    r1 = session.run(FIG10, bindings={"n": 8, "m": 1}, conditions={"c1": True})
+    # different runtime-only binding: served from cache as a fresh wrapper
+    r2 = session.run(FIG10, bindings={"n": 8, "m": 3}, conditions={"c1": True})
+    assert session.stats["hits"] >= 1
+    assert r1.value("a").shape == r2.value("a").shape
+
+
+# ---------------------------------------------------------------------------
+# concurrent execution of one artifact
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("schedule", [None, "round-robin"])
+def test_concurrent_execution_of_one_frozen_artifact(schedule):
+    opts = CompilerOptions(level=3, schedule=schedule)
+    session = CompilerSession(processors=4, options=opts)
+    compiled = session.compile(FIG10, bindings={"n": 8, "m": 2})
+    assert compiled.frozen
+
+    def run_once(_):
+        env = ExecutionEnv(
+            conditions={"c1": True},
+            bindings={"n": 8, "m": 2},
+            inputs={"a": np.arange(64.0).reshape(8, 8)},
+        )
+        res = execute(compiled, machine=Machine(compiled.processors), env=env)
+        return res.value("a"), res.machine.stats.bytes
+
+    with ThreadPoolExecutor(max_workers=8) as tp:
+        outcomes = list(tp.map(run_once, range(16)))
+    ref_value, ref_bytes = outcomes[0]
+    for value, nbytes in outcomes[1:]:
+        assert np.array_equal(ref_value, value)
+        assert nbytes == ref_bytes
+
+
+# ---------------------------------------------------------------------------
+# threaded stress: random workloads, concurrent == serial
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_stress_random_mix_bit_identical_to_serial(seed):
+    rng = np.random.default_rng(seed)
+    programs, envs = [], []
+    for i in range(4):
+        program = random_legal_subroutine(rng, n_arrays=3, length=5, depth=2)
+        conditions, inputs = random_environment(rng, n_arrays=3)
+        programs.append(program)
+        envs.append((conditions, inputs))
+
+    # a random mix of repeated and distinct sources, shuffled
+    picks = [int(rng.integers(0, len(programs))) for _ in range(20)]
+
+    def request(i: int) -> CompileRequest:
+        conditions, inputs = envs[picks[i]]
+        return CompileRequest(
+            programs[picks[i]],
+            conditions=dict(conditions),
+            inputs={k: v.copy() for k, v in inputs.items()},
+            check_invariants=True,
+        )
+
+    def values_of(result) -> dict[str, np.ndarray]:
+        name = next(iter(result.compiled.subroutines))
+        arrays = result.compiled.get(name).sub.arrays
+        return {a: result.result.value(a) for a in arrays}
+
+    # serial reference: same requests, one at a time, fresh cache
+    with CompileService(processors=4, workers=1, shards=4) as serial:
+        ref = [values_of(r) for r in serial.run_batch(
+            [request(i) for i in range(len(picks))]
+        )]
+
+    # concurrent run on a fresh service
+    with CompileService(processors=4, workers=8, shards=4) as svc:
+        results = svc.run_batch([request(i) for i in range(len(picks))])
+        assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+        for i, r in enumerate(results):
+            got = values_of(r)
+            assert set(got) == set(ref[i])
+            for a in got:
+                assert np.array_equal(got[a], ref[i][a], equal_nan=True), (
+                    f"request {i} array {a} diverged from serial (seed {seed})"
+                )
+        snap = svc.stats.snapshot()
+        pool = svc.pool.stats
+        # cache-stat consistency under concurrency
+        assert snap["completed"] == len(picks)
+        assert (
+            snap["compile_hits"] + snap["compile_misses"] + snap["dedup_saves"]
+            == len(picks)
+        )
+        assert pool["hits"] + pool["misses"] == len(picks) - snap["dedup_saves"]
+        # every distinct program compiled at least once, and repeats hit
+        assert pool["misses"] >= len(set(picks))
