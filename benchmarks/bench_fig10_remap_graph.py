@@ -8,7 +8,6 @@ full construction (Appendix B).
 
 from __future__ import annotations
 
-from repro import compile_program
 from repro.ir.cfg import NodeKind, build_cfg
 from repro.ir.effects import Use
 from repro.lang import parse_program, resolve_program

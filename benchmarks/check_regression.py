@@ -1,0 +1,194 @@
+"""Perf-regression gate: fresh benchmark output vs committed baselines.
+
+CI's ``bench-smoke`` leg runs the schedule and service benchmarks, then
+invokes this script to compare the freshly produced
+``BENCH_schedule.json`` / ``BENCH_service.json`` against the committed
+baselines in ``benchmarks/baselines/``.  The perf trajectory is thereby
+*gated*, not merely uploaded.
+
+Tolerances are deliberately generous -- runners differ in cores, clock
+and load -- so only regressions that cannot be machine noise fail:
+
+* **makespan-ordering violations** (exact, model-derived): round-robin
+  must never exceed the naive makespan, aggregation must never increase
+  the message count and never change the bytes, on every benchmarked
+  case in the fresh output;
+* **modelled metrics drifting past the slowdown bound** (default 2x):
+  per-case makespans and message counts are deterministic functions of
+  the schedule subsystem, so fresh > 2x baseline means the *code*, not
+  the machine, got slower;
+* **throughput loss past the bound**: warm requests-per-second per
+  worker count below half the committed baseline.  The warm sweep is
+  I/O-modelled (the sleep dominates), which keeps it comparable across
+  machines.
+
+Only worker counts / cases present in *both* files are compared, so CI's
+smaller smoke sweeps gate against the full committed baselines.  Exit
+codes: 0 clean, 1 regression(s) found, 2 missing/unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: makespans are floats computed by one formula on both sides; the
+#: epsilon only forgives float-sum ordering jitter, not real contention
+EPS = 1e-9
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        print(f"perf-gate: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    except ValueError as exc:
+        print(f"perf-gate: {path} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def check_schedule(
+    fresh: dict, baseline: dict, max_slowdown: float
+) -> tuple[list[str], int]:
+    """Problems found plus how many cases were actually compared.
+
+    Zero comparisons means the gate checked nothing -- the caller must
+    treat that as an infrastructure failure (schema drift, disjoint case
+    sets), not as a pass: a silently disabled gate is exactly the
+    failure mode this script exists to prevent.
+    """
+    problems: list[str] = []
+    compared = 0
+    fresh_results = fresh.get("results", {})
+    base_results = baseline.get("results", {})
+    for case, r in sorted(fresh_results.items()):
+        rr, naive, agg = r["round-robin"], r["naive"], r["aggregate"]
+        if rr["makespan_us"] > naive["makespan_us"] + EPS:
+            problems.append(
+                f"schedule[{case}]: makespan-ordering violation -- round-robin "
+                f"{rr['makespan_us']:.3f}us > naive {naive['makespan_us']:.3f}us"
+            )
+        if agg["messages"] > rr["messages"]:
+            problems.append(
+                f"schedule[{case}]: aggregation increased messages "
+                f"({agg['messages']} > {rr['messages']})"
+            )
+        if agg["bytes"] != rr["bytes"]:
+            problems.append(
+                f"schedule[{case}]: aggregation changed bytes "
+                f"({agg['bytes']} != {rr['bytes']})"
+            )
+    for case in sorted(set(fresh_results) & set(base_results)):
+        compared += 1
+        for policy in ("naive", "round-robin", "aggregate"):
+            f, b = fresh_results[case][policy], base_results[case][policy]
+            if b["makespan_us"] > 0 and f["makespan_us"] > max_slowdown * b["makespan_us"]:
+                problems.append(
+                    f"schedule[{case}][{policy}]: makespan regressed "
+                    f"{f['makespan_us']:.3f}us vs baseline {b['makespan_us']:.3f}us "
+                    f"(> {max_slowdown:g}x)"
+                )
+            if b["messages"] > 0 and f["messages"] > max_slowdown * b["messages"]:
+                problems.append(
+                    f"schedule[{case}][{policy}]: message count regressed "
+                    f"{f['messages']} vs baseline {b['messages']} (> {max_slowdown:g}x)"
+                )
+    return problems, compared
+
+
+def check_service(
+    fresh: dict, baseline: dict, max_slowdown: float
+) -> tuple[list[str], int]:
+    """Problems found plus how many worker counts were compared (see
+    :func:`check_schedule` on why zero comparisons must not pass)."""
+    problems: list[str] = []
+    compared = 0
+    fresh_results = fresh.get("results", {})
+    base_results = baseline.get("results", {})
+    for workers in sorted(set(fresh_results) & set(base_results), key=int):
+        compared += 1
+        f_rps = float(fresh_results[workers]["warm_rps"])
+        b_rps = float(base_results[workers]["warm_rps"])
+        if b_rps > 0 and f_rps < b_rps / max_slowdown:
+            problems.append(
+                f"service[workers={workers}]: warm throughput lost more than "
+                f"{max_slowdown:g}x -- {f_rps:.1f} rps vs baseline {b_rps:.1f} rps"
+            )
+    speedup = fresh.get("warm_speedup_4_vs_1")
+    if speedup is not None and speedup < 2.0:
+        problems.append(
+            f"service: warm 4-worker speedup {speedup:.2f}x fell below the "
+            "asserted 2x floor"
+        )
+    return problems, compared
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(description="gate fresh BENCH json vs baselines")
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced BENCH_*.json (default: .)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=here / "baselines",
+        help="directory holding the committed baselines",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when a gated metric regresses past this factor (default: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    total_compared = 0
+    for name, check in (
+        ("BENCH_schedule.json", check_schedule),
+        ("BENCH_service.json", check_service),
+    ):
+        fresh_path = args.fresh_dir / name
+        base_path = args.baseline_dir / name
+        try:
+            found, compared = check(
+                _load(fresh_path), _load(base_path), args.max_slowdown
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # a renamed/missing policy or metric key is schema drift --
+            # an infrastructure failure (2), not a perf regression (1)
+            print(
+                f"perf-gate: {name} does not match the expected benchmark "
+                f"schema ({type(exc).__name__}: {exc}) -- refusing to gate",
+                file=sys.stderr,
+            )
+            return 2
+        problems += found
+        if compared == 0:
+            print(
+                f"perf-gate: {name} has no cases in common with its baseline "
+                "(schema drift or disjoint sweeps?) -- the gate checked "
+                "nothing, refusing to pass",
+                file=sys.stderr,
+            )
+            return 2
+        total_compared += compared
+
+    if problems:
+        print(f"perf-gate: {len(problems)} regression(s) found:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"perf-gate: OK ({total_compared} cases within tolerances)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

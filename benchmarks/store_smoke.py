@@ -1,0 +1,83 @@
+"""CI smoke assertion: the second compile of a workload is served from disk.
+
+Run as a script (``python benchmarks/store_smoke.py [--dir PATH]``)
+against a persistent store directory -- in CI, one restored by
+``actions/cache`` keyed on the schema fingerprint.  Two store-backed
+sessions compile the mixed four-app workload:
+
+1. the first session compiles (or, when the CI cache carried entries
+   from an earlier run, is itself served from disk -- both fine);
+2. a second, *memory-cold* session over the same store must be served
+   entirely from disk: ``store_hits > 0`` and zero pipeline passes.
+
+Prints a JSON report (tiers, store hits, latencies, speedup) and exits
+non-zero if the disk tier failed to serve, which fails the CI leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _store_workload import NPROCS, OPTIONS, mixed_workload
+
+from repro import ArtifactStore, CompilerSession
+from repro.store import default_store_dir
+
+
+def _compile_all(session: CompilerSession, workload) -> tuple[list[str], float]:
+    t0 = time.perf_counter()
+    tiers = [
+        session.compile_traced(w["source"], bindings=w["bindings"])[1]
+        for w in workload
+    ]
+    return tiers, time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=None, help="store root directory")
+    args = parser.parse_args(argv)
+    root = args.dir or default_store_dir()
+
+    workload = mixed_workload()
+    store = ArtifactStore(root)
+    first = CompilerSession(processors=NPROCS, options=OPTIONS, store=store)
+    first_tiers, first_s = _compile_all(first, workload)
+    second = CompilerSession(processors=NPROCS, options=OPTIONS, store=store)
+    second_tiers, second_s = _compile_all(second, workload)
+
+    report = {
+        "store_dir": str(root),
+        "fingerprint": store.fingerprint,
+        "first_tiers": first_tiers,
+        "second_tiers": second_tiers,
+        "first_seconds": first_s,
+        "second_seconds": second_s,
+        "speedup_second_vs_first": (first_s / second_s) if second_s > 0 else 0.0,
+        "store_hits": second.stats["store_hits"],
+        "second_passes_run": second.stats["passes_run"],
+        "entries": store.entry_count,
+        "total_bytes": store.total_bytes,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    ok = (
+        second.stats["store_hits"] > 0
+        and second.stats["passes_run"] == 0
+        and all(t == "disk" for t in second_tiers)
+    )
+    if not ok:
+        print("store-smoke FAILED: second compile was not served from disk",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

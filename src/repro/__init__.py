@@ -22,6 +22,12 @@ compiles and a ``ServiceStats`` telemetry surface (throughput, p50/p99
 latency, shard hit rates, dedup saves, queue depth) -- see
 :mod:`repro.service` and ``docs/ARCHITECTURE.md``.
 
+Artifacts can outlive the process: an :class:`ArtifactStore`
+(:mod:`repro.store`, ``store=`` on sessions, pools and services) is a
+disk-backed, schema-fingerprinted, integrity-verified compile cache --
+a restarted service warm-starts from what earlier processes compiled,
+plan tables included (``python -m repro.store`` manages it).
+
 Lower-level entry points: :func:`compile_program` (stable one-shot API) and
 :class:`~repro.compiler.pipeline.Pipeline`/:class:`~repro.compiler.pipeline.PassManager`
 for explicit control over the named passes (``parse``, ``motion``,
@@ -85,11 +91,13 @@ from repro.spmd import (
     TrafficEstimate,
     predict_traffic,
 )
+from repro.store import ArtifactStore, schema_fingerprint
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Alignment",
+    "ArtifactStore",
     "AxisAlign",
     "CompileReport",
     "CompileRequest",
@@ -124,4 +132,5 @@ __all__ = [
     "passes_for_level",
     "predict_traffic",
     "program",
+    "schema_fingerprint",
 ]

@@ -2,7 +2,13 @@
 
 A :class:`CompilerSession` caches :class:`CompiledProgram` artifacts keyed
 by (source digest, bindings, processor arrangement, pass set, cost model)
-with an LRU bound and hit/miss/eviction statistics.  After the first compile of a
+with an LRU bound and hit/miss/eviction statistics.  With a persistent
+:class:`~repro.store.ArtifactStore` attached (``store=...``) the cache
+grows a disk tier: lookups go memory -> disk -> compile, fresh compiles
+are written back, and a *new process* sharing the store warm-starts from
+the artifacts (plans included) an earlier process compiled --
+:meth:`CompilerSession.compile_traced` reports which tier served each
+call.  After the first compile of a
 source the session learns which binding names the compilation actually
 depends on (declaration extents; see
 :func:`~repro.compiler.diagnostics.compile_time_binding_names`), so
@@ -50,6 +56,7 @@ import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
+from os import PathLike
 from typing import TYPE_CHECKING
 
 from repro.compiler.artifacts import CompiledProgram, CompilerOptions
@@ -61,6 +68,7 @@ from repro.mapping.processors import ProcessorArrangement
 if TYPE_CHECKING:
     from repro.runtime.executor import ExecutionResult
     from repro.spmd.machine import Machine
+    from repro.store import ArtifactStore
 
 #: Cache key: (source digest, sorted bindings, processors, pass names,
 #: cost model, schedule policy).  The cost model is compile-relevant: the
@@ -129,7 +137,10 @@ class CompilerSession:
 
     ``processors`` and ``options`` given here are session defaults; each
     ``compile``/``run`` call may override them.  ``max_entries`` bounds the
-    artifact cache (least-recently-used eviction).
+    artifact cache (least-recently-used eviction).  ``store`` attaches a
+    persistent :class:`~repro.store.ArtifactStore` as the tier behind the
+    memory cache (a path string builds one with defaults); the store may
+    be shared with any number of other sessions, pools and processes.
     """
 
     def __init__(
@@ -137,6 +148,7 @@ class CompilerSession:
         processors: ProcessorArrangement | int | None = None,
         options: CompilerOptions | None = None,
         max_entries: int = 128,
+        store: "ArtifactStore | str | None" = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -145,7 +157,15 @@ class CompilerSession:
         self.processors = processors
         self.options = options or CompilerOptions()
         self.max_entries = max_entries
+        if isinstance(store, (str, PathLike)):
+            from repro.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        self.store = store
         self._cache: OrderedDict[SessionKey, CompiledProgram] = OrderedDict()
+        # digests whose store binding-names sidecar was already consulted
+        # (memoizes misses; a learned digest never re-reads the sidecar)
+        self._names_checked: set[str] = set()
         # per-source-digest: binding names the compilation depends on;
         # runtime-only bindings (loop bounds etc.) are excluded from keys
         # once the first compile of a source has taught us which is which
@@ -157,6 +177,10 @@ class CompilerSession:
         self.misses = 0
         self.evictions = 0
         self.passes_run = 0  # total pipeline passes executed (misses only)
+        # disk-tier traffic (zero unless a store is attached): memory
+        # misses answered from the store, and artifacts written back
+        self.store_hits = 0
+        self.store_writes = 0
 
     # -- cache -------------------------------------------------------------
 
@@ -210,6 +234,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
+            self._maybe_adopt_names(digest)
             return self._key(digest, bindings, processors, options)
 
     def lookup(
@@ -235,6 +260,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
+            self._maybe_adopt_names(digest)
             key = self._key(digest, bindings, processors, options)
             cached = self._cache.get(key)
             if cached is None:
@@ -266,7 +292,73 @@ class CompilerSession:
 
         The boolean is the per-call truth the aggregate ``hits`` counter
         cannot give a concurrent caller (another thread may advance the
-        counters between a call's start and end).
+        counters between a call's start and end).  A hit is any serve
+        that ran no pipeline -- memory or disk; callers who need the
+        tier use :meth:`compile_traced`.
+        """
+        compiled, source_tier = self.compile_traced(
+            source, bindings, processors, options, digest=digest
+        )
+        return compiled, source_tier != "compiled"
+
+    def _learn_names(self, digest: str, names: frozenset[str] | None) -> None:
+        """Record a source's compile-relevant binding names (under lock)."""
+        if names is not None and digest not in self._binding_names:
+            self._binding_names[digest] = names
+
+    def _maybe_adopt_names(self, digest: str) -> None:
+        """Adopt the store's recorded binding names for a source (under lock).
+
+        Another process may have compiled this source already; adopting
+        the names it recorded makes this session's keys refine exactly the
+        same way, so runtime-only binding variants are disk hits instead
+        of misses.  Called from every key-computing entry point
+        (:meth:`cache_key`, :meth:`lookup`, :meth:`compile_traced`) so the
+        keys they report agree.  A sidecar miss is memoized: steady-state
+        compiles of never-stored sources pay no disk reads.
+        """
+        if (
+            self.store is not None
+            and digest not in self._binding_names
+            and digest not in self._names_checked
+        ):
+            self._names_checked.add(digest)
+            self._learn_names(digest, self.store.binding_names(digest))
+
+    def _insert(self, key: SessionKey, compiled: CompiledProgram) -> None:
+        """Insert one frozen artifact and apply the LRU bound (under lock)."""
+        self._cache[key] = compiled
+        while len(self._cache) > self.max_entries:
+            evicted_key, _ = self._cache.popitem(last=False)
+            self.evictions += 1
+            # drop the digest's learned binding names once its last
+            # artifact is gone, so _binding_names stays bounded -- and
+            # un-memoize the sidecar check with it: a later compile of
+            # this source must be allowed to re-adopt the names, else its
+            # unrefined key would miss a perfectly servable disk entry
+            digest_gone = evicted_key[0]
+            if not any(k[0] == digest_gone for k in self._cache):
+                self._binding_names.pop(digest_gone, None)
+                self._names_checked.discard(digest_gone)
+
+    def compile_traced(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[CompiledProgram, str]:
+        """Compile through every cache tier, reporting the serving tier.
+
+        Returns ``(artifact, tier)`` with ``tier`` one of ``"memory"``
+        (in-process cache hit), ``"disk"`` (served from the attached
+        :class:`~repro.store.ArtifactStore` -- no pipeline ran; the
+        artifact is re-inserted into the memory cache) or ``"compiled"``
+        (a pipeline ran; with a store attached the artifact is written
+        back for other processes).  The service layer surfaces the tier
+        as ``ServiceResult.cache_source``.
         """
         options = options or self.options
         if processors is None:
@@ -274,6 +366,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
+            self._maybe_adopt_names(digest)
             key = self._key(digest, bindings, processors, options)
             cached = self._cache.get(key)
             if cached is not None:
@@ -285,7 +378,19 @@ class CompilerSession:
                 self.misses += 1
         if cached is not None:
             # outside the lock: wrapper construction is pure
-            return with_bindings(cached, bindings), True
+            return with_bindings(cached, bindings), "memory"
+        if self.store is not None:
+            # disk tier: a verified load does zero pipeline work; the
+            # loaded artifact arrives frozen and joins the memory cache
+            loaded = self.store.load(key)
+            if loaded is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    if loaded.report is not None:
+                        self._learn_names(digest, loaded.report.binding_names)
+                    key = self._key(digest, bindings, processors, options)
+                    self._insert(key, loaded)
+                return with_bindings(loaded, bindings), "disk"
         # the pipeline runs unlocked; concurrent misses for the same key
         # both compile (benign: artifacts are interchangeable, last insert
         # wins) -- the service layer's single-flight prevents the repeat
@@ -302,28 +407,24 @@ class CompilerSession:
             # concurrent miss may have taught the session the binding
             # names since this call computed its key -- inserting under
             # the stale unrefined key would leave a dead LRU entry
-            if (
-                digest not in self._binding_names
-                and compiled.report is not None
-                and compiled.report.binding_names is not None
-            ):
-                self._binding_names[digest] = compiled.report.binding_names
+            if compiled.report is not None:
+                self._learn_names(digest, compiled.report.binding_names)
             key = self._key(digest, bindings, processors, options)
-            self._cache[key] = compiled
-            while len(self._cache) > self.max_entries:
-                evicted_key, _ = self._cache.popitem(last=False)
-                self.evictions += 1
-                # drop the digest's learned binding names once its last
-                # artifact is gone, so _binding_names stays bounded
-                digest_gone = evicted_key[0]
-                if not any(k[0] == digest_gone for k in self._cache):
-                    self._binding_names.pop(digest_gone, None)
-        return compiled, False
+            self._insert(key, compiled)
+            names = self._binding_names.get(digest)
+        if self.store is not None:
+            # write-back outside the lock: serialization is pure and the
+            # store's own locking covers concurrent writers
+            if self.store.store(key, compiled, binding_names=names):
+                with self._lock:
+                    self.store_writes += 1
+        return compiled, "compiled"
 
     def cache_clear(self) -> None:
         with self._lock:
             self._cache.clear()
             self._binding_names.clear()
+            self._names_checked.clear()
 
     @property
     def cache_size(self) -> int:
@@ -341,6 +442,11 @@ class CompilerSession:
                 "entries": len(self._cache),
                 "passes_run": self.passes_run,
                 "hit_rate": (self.hits / total) if total else 0.0,
+                # disk tier: memory misses answered by the attached store
+                # (subset of "misses" -- zero pipeline passes ran for
+                # them) and artifacts written back for other processes
+                "store_hits": self.store_hits,
+                "store_writes": self.store_writes,
             }
 
     # -- execution ---------------------------------------------------------

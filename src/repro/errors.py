@@ -48,6 +48,18 @@ class PipelineError(ReproError):
     """Raised on an ill-formed pass pipeline (unmet inputs, bad order)."""
 
 
+class ArtifactStoreError(ReproError):
+    """The persistent artifact store is unusable (not a corrupt entry).
+
+    Corrupt, truncated or stale *entries* are never an error: the store
+    treats them as misses, evicts them, and the caller recompiles (the
+    load path must degrade, never raise).  This exception is reserved for
+    conditions that make the store itself unusable -- an entry directory
+    that cannot be created, an unwritable root -- surfaced at
+    construction/maintenance time, where failing loudly beats silently
+    serving nothing."""
+
+
 class ArtifactFrozenError(ReproError):
     """A frozen (cached, shareable) compiled artifact was mutated.
 

@@ -34,7 +34,6 @@ from repro.lang.ast_nodes import (
     DynamicDecl,
     Extent,
     FormatSpec,
-    If,
     IntentDecl,
     Kill,
     ProcessorsDecl,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.errors import ShapeError
-from repro.mapping.distribute import DistKind, owned_cells
+from repro.mapping.distribute import owned_cells
 from repro.mapping.mapping import GridConstraintKind, Mapping
 from repro.util.intervals import IntervalSet
 

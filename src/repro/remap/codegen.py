@@ -151,18 +151,18 @@ def _vertex_ops(
             continue  # useless remapping: nothing generated (Sec. 4.1)
         if a in v.restore:
             continue  # handled by the caller's RestoreOp
-        l = v.L.get(a)
-        if l is None:
+        leaving = v.L.get(a)
+        if leaving is None:
             continue
         use = v.U.get(a, Use.W)
-        keep = v.M.get(a, frozenset({l})) | frozenset({l})
+        keep = v.M.get(a, frozenset({leaving})) | frozenset({leaving})
         if naive_always_copy:
             use = Use.W if use is not Use.N else Use.W
-            keep = frozenset({l})
+            keep = frozenset({leaving})
         ops.append(
             RemapOp(
                 array=a,
-                leaving=l,
+                leaving=leaving,
                 reaching=v.R.get(a, frozenset()),
                 use=use,
                 keep=keep,

@@ -99,8 +99,8 @@ class GRVertex:
             return frozenset()
         if a in self.restore:
             return self.restore[a]
-        l = self.L.get(a)
-        return frozenset() if l is None else frozenset({l})
+        leaving = self.L.get(a)
+        return frozenset() if leaving is None else frozenset({leaving})
 
     @property
     def is_boundary(self) -> bool:
@@ -109,8 +109,8 @@ class GRVertex:
     def describe(self, versions: VersionTable) -> str:
         parts = []
         for a in sorted(self.S):
-            l = self.L.get(a)
-            lv = versions.name(a, l) if l is not None else "-"
+            leaving = self.L.get(a)
+            lv = versions.name(a, leaving) if leaving is not None else "-"
             rv = "{" + ",".join(str(x) for x in sorted(self.R.get(a, ()))) + "}"
             parts.append(f"{a}: {rv} --{self.U.get(a, Use.N)}--> {lv}")
         return f"[{self.label or self.kind.value}] " + "; ".join(parts)
@@ -169,9 +169,9 @@ class RemappingGraph:
         """All versions the array may be used with (paper Fig. 12 discussion)."""
         out: set[int] = set()
         for v in self.vertices.values():
-            l = v.L.get(array)
-            if l is not None and v.U.get(array, Use.N) is not Use.N:
-                out.add(l)
+            leaving = v.L.get(array)
+            if leaving is not None and v.U.get(array, Use.N) is not Use.N:
+                out.add(leaving)
         return out
 
     def dump(self) -> str:

@@ -86,8 +86,8 @@ def _producers(graph: RemappingGraph, vid: int, a: str) -> frozenset[int]:
     """
     v = graph.vertices[vid]
     if a in v.removed and v.kind in (NodeKind.CALLV, NodeKind.ENTRY):
-        l = v.L.get(a)
-        return frozenset() if l is None else frozenset({l})
+        leaving = v.L.get(a)
+        return frozenset() if leaving is None else frozenset({leaving})
     return v.leaving_set(a)
 
 

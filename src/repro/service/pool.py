@@ -16,10 +16,16 @@ deduplication and worker scheduling live one layer up in
 
 from __future__ import annotations
 
+from os import PathLike
+from typing import TYPE_CHECKING
+
 from repro.compiler.artifacts import CompiledProgram, CompilerOptions
 from repro.compiler.session import CompilerSession, SessionKey, source_digest
 from repro.lang.ast_nodes import Program, Subroutine
 from repro.mapping.processors import ProcessorArrangement
+
+if TYPE_CHECKING:
+    from repro.store import ArtifactStore
 
 
 class SessionPool:
@@ -30,6 +36,11 @@ class SessionPool:
     artifacts).  ``processors``/``options`` are defaults handed to every
     shard session, and ``max_entries_per_shard`` bounds each shard's LRU
     independently -- total capacity is ``shards * max_entries_per_shard``.
+    ``store`` attaches one shared persistent
+    :class:`~repro.store.ArtifactStore` (a path string builds one) behind
+    every shard: entries are keyed by the full artifact key, so shards
+    share the disk tier safely, and a restarted pool warm-starts from
+    whatever any earlier process compiled.
 
     Every public method is thread-safe: shard sessions lock their own
     cache and never hold the lock across a pipeline run, so two compiles
@@ -42,14 +53,21 @@ class SessionPool:
         processors: ProcessorArrangement | int | None = None,
         options: CompilerOptions | None = None,
         max_entries_per_shard: int = 64,
+        store: "ArtifactStore | str | None" = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if isinstance(store, (str, PathLike)):
+            from repro.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        self.store = store
         self._shards = tuple(
             CompilerSession(
                 processors=processors,
                 options=options,
                 max_entries=max_entries_per_shard,
+                store=store,
             )
             for _ in range(shards)
         )
@@ -135,6 +153,28 @@ class SessionPool:
             source, bindings, processors, options, digest=digest
         )
 
+    def compile_traced(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[CompiledProgram, str]:
+        """:meth:`compile` reporting the serving tier.
+
+        The tier -- ``"memory"`` / ``"disk"`` / ``"compiled"`` -- comes
+        straight from the responsible shard
+        (:meth:`~repro.compiler.session.CompilerSession.compile_traced`);
+        the service layer records it as ``ServiceResult.cache_source``.
+        """
+        if digest is None:
+            digest = source_digest(source)
+        return self._shards[self.shard_index(digest)].compile_traced(
+            source, bindings, processors, options, digest=digest
+        )
+
     # -- maintenance / observability ---------------------------------------
 
     def cache_clear(self) -> None:
@@ -163,4 +203,8 @@ class SessionPool:
             "hit_rate": (hits / total) if total else 0.0,
             "shard_hit_rates": [float(s["hit_rate"]) for s in per_shard],
             "shard_entries": [int(s["entries"]) for s in per_shard],
+            # disk tier (all shards share one store, so these are sums of
+            # per-shard session counters, not store-object counters)
+            "store_hits": sum(int(s["store_hits"]) for s in per_shard),
+            "store_writes": sum(int(s["store_writes"]) for s in per_shard),
         }

@@ -40,6 +40,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 from typing import Mapping as TypingMapping
 
 import numpy as np
@@ -50,6 +51,9 @@ from repro.lang.ast_nodes import Program, Subroutine
 from repro.mapping.processors import ProcessorArrangement
 from repro.runtime.executor import ExecutionEnv, ExecutionResult, execute
 from repro.service.pool import SessionPool
+
+if TYPE_CHECKING:
+    from repro.store import ArtifactStore
 
 __all__ = [
     "CompileRequest",
@@ -89,17 +93,22 @@ class CompileRequest:
 class ServiceResult:
     """Per-request outcome: the execution result or the contained error.
 
-    ``cached`` says the artifact came straight from a shard cache;
-    ``deduped`` says this request waited on another request's in-flight
-    compile (a single-flight save).  Workers never leak exceptions: a
-    failed request resolves with ``error`` set and ``result=None``.
+    ``cache_source`` is the artifact's provenance: ``"memory"`` (shard
+    cache hit), ``"disk"`` (served from the pool's persistent
+    :class:`~repro.store.ArtifactStore` -- no pipeline ran) or
+    ``"compiled"`` (a pipeline ran for this artifact); ``None`` until an
+    artifact was obtained.  ``cached`` is the derived boolean (memory or
+    disk); ``deduped`` says this request waited on another request's
+    in-flight compile (a single-flight save -- the provenance is then the
+    leader's).  Workers never leak exceptions: a failed request resolves
+    with ``error`` set and ``result=None``.
     """
 
     index: int
     result: ExecutionResult | None = None
     compiled: CompiledProgram | None = None
     error: BaseException | None = None
-    cached: bool = False
+    cache_source: str | None = None
     deduped: bool = False
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
@@ -109,6 +118,14 @@ class ServiceResult:
     def ok(self) -> bool:
         """True when the request completed without an error."""
         return self.error is None
+
+    @property
+    def cached(self) -> bool:
+        """True when the artifact came from a cache tier (memory or disk).
+
+        Derived from :attr:`cache_source` so the two can never diverge.
+        """
+        return self.cache_source in ("memory", "disk")
 
     def value(self, name: str) -> np.ndarray:
         """The named array's final global values (raises on failed requests)."""
@@ -129,10 +146,12 @@ class ServiceStats:
     reservoir of the most recent request latencies.
 
     Accounting invariant: every completed request that *obtained an
-    artifact* is exactly one of ``compile_hits`` / ``compile_misses`` /
-    ``dedup_saves``; requests that failed before obtaining one count only
-    in ``errors`` (the shard sessions still record their miss, so pool
-    statistics additionally see failed compile attempts).
+    artifact* is exactly one of ``compile_hits`` (shard memory hit) /
+    ``store_hits`` (served from the persistent disk store) /
+    ``compile_misses`` (a pipeline ran) / ``dedup_saves``; requests that
+    failed before obtaining one count only in ``errors`` (the shard
+    sessions still record their miss, so pool statistics additionally see
+    failed compile attempts).
     """
 
     def __init__(self, latency_window: int = 8192):
@@ -143,6 +162,7 @@ class ServiceStats:
         self.errors = 0
         self.compile_hits = 0
         self.compile_misses = 0
+        self.store_hits = 0
         self.dedup_saves = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
@@ -182,8 +202,10 @@ class ServiceStats:
             # dedup followers are counted once as dedup_saves: they never
             # touched a shard cache, so they are neither hits nor misses
             if res.compiled is not None and not res.deduped:
-                if res.cached:
+                if res.cache_source == "memory":
                     self.compile_hits += 1
+                elif res.cache_source == "disk":
+                    self.store_hits += 1
                 else:
                     self.compile_misses += 1
             self._latencies.append(res.seconds)
@@ -215,6 +237,7 @@ class ServiceStats:
                 "errors": self.errors,
                 "compile_hits": self.compile_hits,
                 "compile_misses": self.compile_misses,
+                "store_hits": self.store_hits,
                 "dedup_saves": self.dedup_saves,
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
@@ -231,7 +254,7 @@ class _InFlight:
 
     done: threading.Event = field(default_factory=threading.Event)
     compiled: CompiledProgram | None = None
-    cached: bool = False
+    source: str = "compiled"  # the leader's serving tier (cache provenance)
     error: BaseException | None = None
 
 
@@ -259,7 +282,12 @@ class CompileService:
     :class:`ServiceStats` exposes as queue depth.  ``pool`` may be shared
     between services; by default each service builds its own
     :class:`~repro.service.pool.SessionPool` with ``shards`` shards and
-    the given session defaults.
+    the given session defaults.  ``store`` (an
+    :class:`~repro.store.ArtifactStore` or a path) gives that pool a
+    persistent disk tier: a restarted service warm-starts from the
+    artifacts earlier processes compiled, visible per request as
+    ``ServiceResult.cache_source == "disk"`` and in aggregate as
+    ``store_hits`` in :class:`ServiceStats`.
 
     Use as a context manager (or call :meth:`close`) to shut the worker
     pool down deterministically::
@@ -277,14 +305,21 @@ class CompileService:
         processors: ProcessorArrangement | int | None = None,
         options: CompilerOptions | None = None,
         max_entries_per_shard: int = 64,
+        store: "ArtifactStore | str | None" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if pool is not None and store is not None:
+            raise ValueError(
+                "pass store= to the SessionPool when providing a pool "
+                "(a service-level store would silently not be used)"
+            )
         self.pool = pool or SessionPool(
             shards=shards,
             processors=processors,
             options=options,
             max_entries_per_shard=max_entries_per_shard,
+            store=store,
         )
         self.workers = workers
         self.stats = ServiceStats()
@@ -303,26 +338,30 @@ class CompileService:
         bindings: dict[str, int] | None = None,
         processors: ProcessorArrangement | int | None = None,
         options: CompilerOptions | None = None,
-    ) -> tuple[CompiledProgram, bool, bool]:
-        """Compile with single-flight dedup; returns (artifact, cached, deduped).
+    ) -> tuple[CompiledProgram, str, bool]:
+        """Compile with single-flight dedup; returns (artifact, tier, deduped).
 
+        The tier is the artifact's cache provenance -- ``"memory"`` /
+        ``"disk"`` / ``"compiled"`` (see ``ServiceResult.cache_source``).
         Warm requests are answered by a shard-cache peek and never touch
         the service-global in-flight table (the pool's sharded locks are
         the only contention).  Concurrent calls that *miss* on the same
-        artifact key collapse onto one pipeline run: the first caller
-        (leader) compiles through the pool, the rest (followers) wait on
-        the leader's event and share the frozen artifact -- rebased onto
-        their own bindings, exactly as a cache hit would be.  A leader's
-        compile error propagates to every follower of that flight (as a
-        per-follower copy, so tracebacks stay per-thread); only
-        successful waits count as dedup saves.
+        artifact key collapse onto one compile-or-disk-load: the first
+        caller (leader) goes through the pool (which checks the
+        persistent store before running a pipeline), the rest (followers)
+        wait on the leader's event and share the frozen artifact --
+        rebased onto their own bindings, exactly as a cache hit would be;
+        a follower reports the leader's tier.  A leader's compile error
+        propagates to every follower of that flight (as a per-follower
+        copy, so tracebacks stay per-thread); only successful waits count
+        as dedup saves.
         """
         digest = source_digest(source)  # hashed once, threaded everywhere
         cached_art = self.pool.lookup(
             source, bindings, processors, options, digest=digest
         )
         if cached_art is not None:
-            return cached_art, True, False
+            return cached_art, "memory", False
         key = self.pool.cache_key(source, bindings, processors, options, digest=digest)
         with self._inflight_lock:
             flight = self._inflight.get(key)
@@ -340,13 +379,13 @@ class CompileService:
             self.stats.record_dedup_save()
             # the leader's artifact carries the *leader's* runtime-only
             # bindings; rebase onto this caller's, like any cache hit
-            return with_bindings(flight.compiled, bindings), flight.cached, True
+            return with_bindings(flight.compiled, bindings), flight.source, True
         try:
-            compiled, cached = self.pool.compile_cached(
+            compiled, tier = self.pool.compile_traced(
                 source, bindings, processors, options, digest=digest
             )
-            flight.compiled, flight.cached = compiled, cached
-            return compiled, cached, False
+            flight.compiled, flight.source = compiled, tier
+            return compiled, tier, False
         except BaseException as exc:
             flight.error = exc
             raise
@@ -376,7 +415,7 @@ class CompileService:
             if request.io_seconds > 0:  # modeled request ingest (see module doc)
                 time.sleep(request.io_seconds / 2)
             tc = time.perf_counter()
-            compiled, res.cached, res.deduped = self.compile(
+            compiled, res.cache_source, res.deduped = self.compile(
                 request.source,
                 bindings=request.bindings,
                 processors=request.processors,

@@ -26,7 +26,7 @@ time so observed makespans are directly comparable with the static
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import OutOfMemoryError
 from repro.mapping.processors import ProcessorArrangement

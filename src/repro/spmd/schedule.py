@@ -47,7 +47,6 @@ with zero scheduling work.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import ArtifactFrozenError, ScheduleError
@@ -409,6 +408,31 @@ class CommPlanTable:
 
     def plans(self) -> list[CommSchedule]:
         return list(self._plans.values())
+
+    def entries(self) -> list[tuple[tuple, CommSchedule]]:
+        """All (signature-pair key, plan) entries in deterministic order.
+
+        The canonical iteration for serialization and for comparing two
+        tables: a plan table that survived a disk round-trip
+        (:mod:`repro.store`) must yield exactly the entries of the table
+        that was written, independent of build order."""
+        return sorted(self._plans.items(), key=lambda kv: repr(kv[0]))
+
+    def content_digest(self) -> str:
+        """A stable digest of the table's full content (policy + plans).
+
+        Two tables with the same policy and the same plans -- regardless
+        of insertion order or frozen state -- share a digest.  The store's
+        round-trip tests use it to prove that precompiled plans survive
+        serialization bit-for-bit at the schedule level (phasing,
+        packing, local copies), not merely by count."""
+        import hashlib
+
+        h = hashlib.sha256(self.policy.encode())
+        for key, plan in self.entries():
+            h.update(repr(key).encode())
+            h.update(repr(plan).encode())
+        return h.hexdigest()
 
     def lookup(self, src: Mapping, dst: Mapping) -> CommSchedule | None:
         return self._plans.get(self._key(src, dst))

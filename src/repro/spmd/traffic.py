@@ -31,7 +31,6 @@ liveness diverge from the prediction.
 
 from __future__ import annotations
 
-import itertools
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING

@@ -1,0 +1,6 @@
+"""``python -m repro.store`` -- see :mod:`repro.store.cli`."""
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

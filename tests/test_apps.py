@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps.adi import adi_reference, run_adi, thomas_constant
+from repro.apps.adi import run_adi, thomas_constant
 from repro.apps.fft2d import run_fft2d
 from repro.apps.lu import lu_reference, run_lu
 from repro.apps.sar import run_sar
@@ -100,9 +100,9 @@ def test_lu_reference_factors():
     rng = np.random.default_rng(3)
     a = rng.normal(size=(8, 8)) + 8 * np.eye(8)
     lu = lu_reference(a)
-    l = np.tril(lu, -1) + np.eye(8)
-    u = np.triu(lu)
-    assert np.allclose(l @ u, a)
+    lower = np.tril(lu, -1) + np.eye(8)
+    upper = np.triu(lu)
+    assert np.allclose(lower @ upper, a)
 
 
 def test_lu_runs_and_matches_reference():

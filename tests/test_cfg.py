@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ir.cfg import NodeKind, build_cfg
 from repro.lang import parse_program, resolve_program

@@ -22,7 +22,7 @@ from repro import (
     compile_program,
 )
 from repro.apps.workloads import random_environment, random_legal_subroutine
-from repro.remap.costguard import CostGuard, GuardFlags
+from repro.remap.costguard import CostGuard
 from repro.remap.motion import hoist_loop_invariant_remaps
 from repro.lang.parser import parse_program
 from repro.spmd.cost import TrafficEstimate

@@ -4,7 +4,6 @@ multi-grid remappings, and the compilation report on a full program."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import (
     CompilerOptions,

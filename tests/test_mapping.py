@@ -17,7 +17,7 @@ from repro.mapping import (
     ProcessorArrangement,
     Template,
 )
-from repro.mapping.ownership import Layout, affine_preimage, layout_of
+from repro.mapping.ownership import affine_preimage, layout_of
 from repro.util.intervals import IntervalSet
 
 
@@ -321,7 +321,7 @@ def test_local_numbering_roundtrip():
         for i in owned[0]:
             for j in owned[1]:
                 loc = lay.global_to_local(q, (i, j))
-                assert all(0 <= l < s for l, s in zip(loc, shape))
+                assert all(0 <= c < s for c, s in zip(loc, shape))
                 assert lay.local_to_global(q, loc) == (i, j)
 
 

@@ -1,0 +1,166 @@
+"""The perf-regression gate's decision logic (benchmarks/check_regression.py).
+
+The gate must catch what can only be a code regression (makespan-ordering
+violations, deterministic metrics drifting past the slowdown bound,
+throughput collapse) while ignoring machine noise within the generous
+tolerance; it compares only cases present in both files so smoke sweeps
+gate against fuller baselines, and it must refuse to pass when nothing
+was comparable (a silently disabled gate is the failure it exists to
+prevent).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+spec = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(spec)
+sys.modules["check_regression"] = check_regression
+spec.loader.exec_module(check_regression)
+
+check_schedule = check_regression.check_schedule
+check_service = check_regression.check_service
+
+
+def _case(naive_ms=10.0, rr_ms=5.0, agg_msgs=4, rr_msgs=8, bytes_=640):
+    return {
+        "naive": {"makespan_us": naive_ms, "messages": rr_msgs, "bytes": bytes_},
+        "round-robin": {"makespan_us": rr_ms, "messages": rr_msgs, "bytes": bytes_},
+        "aggregate": {"makespan_us": rr_ms, "messages": agg_msgs, "bytes": bytes_},
+    }
+
+
+def test_schedule_clean_within_tolerance():
+    fresh = {"results": {"a@P4": _case(rr_ms=6.0)}}
+    base = {"results": {"a@P4": _case(rr_ms=4.0)}}  # 1.5x: inside 2x
+    problems, compared = check_schedule(fresh, base, 2.0)
+    assert problems == [] and compared == 1
+
+
+def test_schedule_ordering_violation_fails():
+    fresh = {"results": {"a@P4": _case(naive_ms=5.0, rr_ms=10.0)}}
+    problems, _ = check_schedule(fresh, fresh, 2.0)
+    assert any("makespan-ordering violation" in p for p in problems)
+
+
+def test_schedule_aggregation_regression_fails():
+    bad = _case()
+    bad["aggregate"]["messages"] = 99
+    problems, _ = check_schedule({"results": {"a@P4": bad}}, {"results": {"a@P4": bad}}, 2.0)
+    assert any("aggregation increased messages" in p for p in problems)
+
+
+def test_schedule_makespan_drift_past_bound_fails():
+    fresh = {"results": {"a@P4": _case(rr_ms=9.0)}}
+    base = {"results": {"a@P4": _case(rr_ms=4.0)}}  # 2.25x > 2x
+    problems, _ = check_schedule(fresh, base, 2.0)
+    assert any("makespan regressed" in p for p in problems)
+
+
+def test_schedule_compares_only_overlapping_cases():
+    fresh = {"results": {"a@P4": _case()}}
+    base = {"results": {"a@P4": _case(), "b@P16": _case(rr_ms=0.001)}}
+    problems, compared = check_schedule(fresh, base, 2.0)
+    assert problems == [] and compared == 1
+
+
+def test_zero_overlap_is_reported_not_passed():
+    """Disjoint case sets / schema drift must not look like a clean gate."""
+    fresh = {"results": {"a@P4": _case()}}
+    base = {"results": {"b@P16": _case()}}
+    _, compared = check_schedule(fresh, base, 2.0)
+    assert compared == 0
+    _, compared = check_schedule({"wrong-key": {}}, base, 2.0)
+    assert compared == 0
+    _, compared = check_service({"results": {"1": {"warm_rps": 1.0}}}, {}, 2.0)
+    assert compared == 0
+
+
+def test_service_throughput_loss_fails_and_gain_passes():
+    base = {"results": {"1": {"warm_rps": 100.0}, "4": {"warm_rps": 300.0}}}
+    ok = {"results": {"1": {"warm_rps": 60.0}, "4": {"warm_rps": 900.0}}}
+    problems, compared = check_service(ok, base, 2.0)
+    assert problems == [] and compared == 2
+    bad = {"results": {"4": {"warm_rps": 100.0}}}  # 3x loss on workers=4
+    problems, _ = check_service(bad, base, 2.0)
+    assert any("warm throughput lost" in p for p in problems)
+
+
+def test_service_speedup_floor():
+    base = {"results": {"1": {"warm_rps": 100.0}}}
+    fresh = {"results": {"1": {"warm_rps": 100.0}}, "warm_speedup_4_vs_1": 1.4}
+    problems, _ = check_service(fresh, base, 2.0)
+    assert any("fell below the asserted 2x floor" in p for p in problems)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    """0 clean, 1 regression, 2 missing inputs / nothing comparable."""
+    import json
+
+    import pytest
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    # missing fresh files -> 2 (infrastructure, not a regression)
+    with pytest.raises(SystemExit) as exc:
+        check_regression.main(["--fresh-dir", str(tmp_path)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+    # fresh == committed baselines -> clean
+    assert (
+        check_regression.main(
+            ["--fresh-dir", str(base_dir), "--baseline-dir", str(base_dir)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # a real throughput collapse -> 1
+    svc = json.loads((base_dir / "BENCH_service.json").read_text())
+    for r in svc["results"].values():
+        r["warm_rps"] = float(r["warm_rps"]) / 10.0
+    (tmp_path / "BENCH_schedule.json").write_text(
+        (base_dir / "BENCH_schedule.json").read_text()
+    )
+    (tmp_path / "BENCH_service.json").write_text(json.dumps(svc))
+    assert (
+        check_regression.main(
+            ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+        )
+        == 1
+    )
+    capsys.readouterr()
+
+
+def test_schema_drift_exits_2_not_1(tmp_path, capsys):
+    """A renamed policy key is infrastructure failure (2), never read as
+    a perf regression (1) via an uncaught KeyError."""
+    import json
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    sched = json.loads((base_dir / "BENCH_schedule.json").read_text())
+    for case in sched["results"].values():
+        case["rr"] = case.pop("round-robin")
+    (tmp_path / "BENCH_schedule.json").write_text(json.dumps(sched))
+    (tmp_path / "BENCH_service.json").write_text(
+        (base_dir / "BENCH_service.json").read_text()
+    )
+    rc = check_regression.main(
+        ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+    )
+    assert rc == 2
+    assert "schema" in capsys.readouterr().err
+
+
+def test_gate_passes_on_committed_baselines_shape():
+    """The committed baselines themselves are ordering-clean."""
+    import json
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    sched = json.loads((base_dir / "BENCH_schedule.json").read_text())
+    svc = json.loads((base_dir / "BENCH_service.json").read_text())
+    assert check_schedule(sched, sched, 2.0)[0] == []
+    assert check_service(svc, svc, 2.0)[0] == []

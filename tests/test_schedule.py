@@ -49,7 +49,6 @@ from repro.mapping import (
 )
 from repro.mapping.ownership import layout_of
 from repro.spmd import (
-    POLICIES,
     CommPlanTable,
     DistributedArray,
     Message,

@@ -173,6 +173,36 @@ def test_compile_only_request():
         assert r.compiled.frozen
 
 
+def test_cache_source_provenance_per_request(tmp_path):
+    """``ServiceResult.cache_source``: ``"compiled"`` then ``"memory"``
+    within one service, ``"disk"`` after a restart onto the same
+    persistent store -- with the accounting invariant holding across all
+    four outcome classes."""
+    req = {"source": FIG10, "bindings": {"n": 8, "m": 1}, "conditions": {"c1": True}}
+    with CompileService(processors=4, workers=1, store=tmp_path / "store") as svc:
+        first, second = svc.run_batch([req, req])
+        assert first.cache_source == "compiled" and not first.cached
+        assert second.cache_source == "memory" and second.cached
+        ref = first.value("a")
+        snap = svc.stats.snapshot()
+        assert snap["compile_misses"] == 1 and snap["compile_hits"] == 1
+        assert snap["store_hits"] == 0
+    # a *new* service over the same store directory: no memory, disk hit
+    with CompileService(processors=4, workers=1, store=tmp_path / "store") as svc2:
+        (only,) = svc2.run_batch([req])
+        assert only.cache_source == "disk" and only.cached and not only.deduped
+        assert np.array_equal(only.value("a"), ref)
+        snap = svc2.stats.snapshot()
+        assert snap["store_hits"] == 1 and snap["compile_misses"] == 0
+        assert (
+            snap["compile_hits"]
+            + snap["compile_misses"]
+            + snap["store_hits"]
+            + snap["dedup_saves"]
+            == snap["completed"]
+        )
+
+
 def test_errors_are_contained_per_request():
     with CompileService(processors=4, workers=2) as svc:
         results = svc.run_batch(
@@ -204,7 +234,7 @@ def test_closed_service_rejects_submits():
 
 def test_single_flight_collapses_concurrent_identical_misses(monkeypatch):
     svc = CompileService(processors=4, workers=4, shards=2)
-    real = svc.pool.compile_cached
+    real = svc.pool.compile_traced
     started = threading.Event()
 
     def slow_compile(*args, **kwargs):
@@ -212,7 +242,7 @@ def test_single_flight_collapses_concurrent_identical_misses(monkeypatch):
         time.sleep(0.25)  # hold the flight open while followers arrive
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(svc.pool, "compile_cached", slow_compile)
+    monkeypatch.setattr(svc.pool, "compile_traced", slow_compile)
     with svc:
         futures = [
             svc.submit(FIG10, bindings={"n": 8, "m": 1}, conditions={"c1": True})
@@ -226,6 +256,8 @@ def test_single_flight_collapses_concurrent_identical_misses(monkeypatch):
     assert svc.pool.stats["misses"] == 1
     assert svc.pool.stats["hits"] == 0
     assert svc.stats.snapshot()["dedup_saves"] == 3
+    # followers report the leader's provenance (nothing was cached yet)
+    assert all(r.cache_source == "compiled" for r in results)
     # followers share the leader's frozen artifact object
     arts = {id(r.compiled) for r in results}
     assert len(arts) == 1
@@ -244,13 +276,13 @@ def test_single_flight_follower_gets_own_bindings(monkeypatch):
     # teach the shard session m is runtime-only (binding names are
     # learned per source digest, across options)
     svc.pool.compile(FIG10, bindings={"n": 8, "m": 1})
-    real = svc.pool.compile_cached
+    real = svc.pool.compile_traced
 
     def slow_compile(*args, **kwargs):
         time.sleep(0.25)
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(svc.pool, "compile_cached", slow_compile)
+    monkeypatch.setattr(svc.pool, "compile_traced", slow_compile)
     opts = CompilerOptions(level=2)
     with svc:
         futures = [

@@ -17,7 +17,6 @@ from __future__ import annotations
 import os
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -30,7 +29,6 @@ MONOTONE_EXAMPLES = 500 if RANDOM_PROFILE else 25
 
 from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
 from repro.apps.workloads import (
-    CONDS,
     chain_subroutine,
     loopy_subroutine,
     random_environment,
