@@ -25,8 +25,11 @@ grows the sweep for CI smoke runs.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
+
+from repro.analysis.commsafety import certify_plan
 
 from repro.mapping import DistFormat, Mapping, ProcessorArrangement
 from repro.spmd import (
@@ -105,6 +108,52 @@ def _measure(src: Mapping, dst: Mapping) -> dict:
     return out
 
 
+def _measure_verified_fast_path(nprocs: int, repeats: int = 30) -> dict:
+    """Warm-replay cost of a plan with and without the static safety stamp.
+
+    ``Machine.run_phase`` re-validates one-port safety (O(messages) per
+    phase) unless the plan was proven safe at compile time
+    (:mod:`repro.analysis.commsafety`).  Replaying the same redistribution
+    through a certified and an uncertified copy of the *same* plan
+    isolates exactly that validation cost -- traffic must be identical.
+    """
+    src, dst = _patterns(nprocs)["cyclic->cyclic(3)"]
+    redist = build_schedule(layout_of(src), layout_of(dst))
+    plan = build_comm_schedule(redist, "round-robin")
+    certified = certify_plan(src, dst, plan)
+    assert certified.statically_verified, "fast-path plan failed certification"
+    data = np.arange(float(np.prod(src.shape))).reshape(src.shape)
+
+    def replay(p) -> tuple[float, int, int, np.ndarray]:
+        machine = Machine(src.processors)
+        s = DistributedArray("A", src, machine)
+        d = DistributedArray("A", dst, machine)
+        s.scatter_from_global(data)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            scheduled_redistribute(s, d, machine, policy="round-robin", plan=p)
+        dt = time.perf_counter() - t0
+        return dt, machine.stats.bytes, machine.stats.messages, d.gather_to_global()
+
+    # interleave would be fairer still, but a single warmup replay of each
+    # suffices to take import/alloc noise out of the comparison
+    replay(plan), replay(certified)
+    slow_s, slow_bytes, slow_msgs, slow_vals = replay(plan)
+    fast_s, fast_bytes, fast_msgs, fast_vals = replay(certified)
+    assert slow_bytes == fast_bytes
+    assert slow_msgs == fast_msgs
+    assert np.array_equal(slow_vals, fast_vals)
+    return {
+        "pattern": f"cyclic->cyclic(3)@P{nprocs}",
+        "repeats": repeats,
+        "unverified_us": slow_s * 1e6,
+        "verified_us": fast_s * 1e6,
+        "speedup": slow_s / fast_s if fast_s > 0 else 1.0,
+        "bytes": fast_bytes,
+        "messages": fast_msgs,
+    }
+
+
 def test_schedule_policies_across_machine_sizes(benchmark, bench_json):
     results: dict[str, dict] = {}
     for nprocs in SIZES:
@@ -116,11 +165,14 @@ def test_schedule_policies_across_machine_sizes(benchmark, bench_json):
             assert r["aggregate"]["messages"] <= r["round-robin"]["messages"]
             assert r["aggregate"]["bytes"] == r["round-robin"]["bytes"]
 
+    fast_path = _measure_verified_fast_path(max(SIZES))
+
     path = bench_json("BENCH_schedule.json", {
         "experiment": "schedule-policies",
         "sizes": list(SIZES),
         "cost_model": {"alpha": COST.alpha, "beta": COST.beta},
         "results": results,
+        "verified_fast_path": fast_path,
     })
 
     # ratio summaries skip zero-traffic cases (P=1 sweeps are purely local)
@@ -144,5 +196,6 @@ def test_schedule_policies_across_machine_sizes(benchmark, bench_json):
             "rr_speedup_min": round(min(speedups), 3),
             "rr_speedup_max": round(max(speedups), 3),
             "agg_msg_reduction_max": round(max(saved), 3),
+            "verified_fast_path_speedup": round(fast_path["speedup"], 3),
         }
     )

@@ -81,6 +81,28 @@ def check_schedule(
                 f"schedule[{case}]: aggregation changed bytes "
                 f"({agg['bytes']} != {rr['bytes']})"
             )
+    fp = fresh.get("verified_fast_path")
+    if fp is not None:
+        # deterministic invariant: statically-verified plans must move the
+        # exact same traffic; and the skipped runtime validation must not
+        # somehow make warm replay slower beyond clear machine noise
+        if float(fp["speedup"]) < 0.8:
+            problems.append(
+                f"schedule[verified-fast-path]: certified plan replay is "
+                f"{1 / float(fp['speedup']):.2f}x SLOWER than unverified "
+                f"({fp['verified_us']:.0f}us vs {fp['unverified_us']:.0f}us)"
+            )
+        base_fp = baseline.get("verified_fast_path")
+        if base_fp is not None and base_fp.get("pattern") != fp.get("pattern"):
+            base_fp = None  # smoke sweep at another machine size: incomparable
+        if base_fp is not None and (
+            fp["bytes"] != base_fp["bytes"] or fp["messages"] != base_fp["messages"]
+        ):
+            problems.append(
+                "schedule[verified-fast-path]: traffic drifted from baseline "
+                f"(bytes {fp['bytes']} vs {base_fp['bytes']}, messages "
+                f"{fp['messages']} vs {base_fp['messages']})"
+            )
     for case in sorted(set(fresh_results) & set(base_results)):
         compared += 1
         for policy in ("naive", "round-robin", "aggregate"):

@@ -1,8 +1,21 @@
-"""Dataflow analysis framework.
+"""Static analysis: the dataflow solver, verifier, prover and lints.
 
 Every analysis in the paper (Appendix B, C and D) is a "standard dataflow
-problem" in its words; this subpackage provides the shared iterative
-worklist solver they all instantiate.
+problem" in its words; :mod:`repro.analysis.dataflow` provides the shared
+iterative worklist solver they all instantiate.  On top of it sit three
+consumers added by the static-analysis extension:
+
+* :mod:`repro.analysis.verify` -- structural/semantic invariant checks
+  over compiled artifacts (CFG shape, version def-before-use, remap-graph
+  consistency, statement-key maps, plan-table signatures); run by the
+  ``verify`` pass and on every artifact-store disk load.
+* :mod:`repro.analysis.commsafety` -- compile-time proofs that a
+  precompiled communication plan moves exactly the bytes the mapping
+  change requires and respects the one-port model; proven plans are
+  stamped ``statically_verified`` and skip runtime re-validation.
+* :mod:`repro.analysis.lints` -- rule-coded diagnostics (RPR0xx) for the
+  paper's Fig. 2 catalog of wasteful remappings, plus CFG hygiene and
+  scenario-reachability checks, surfaced via ``python -m repro.lint``.
 """
 
 from repro.analysis.dataflow import Direction, solve

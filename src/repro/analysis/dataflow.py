@@ -12,7 +12,9 @@ node ids plus ``preds``/``succs`` callables, so the same engine solves:
 
 All the paper's lattices are finite powersets, so termination is by
 monotonicity; the solver nevertheless guards against non-monotone transfer
-bugs with an iteration bound.
+bugs with an iteration bound and raises
+:class:`~repro.errors.DataflowDivergenceError` when it is hit, so a broken
+problem statement is diagnosable instead of a silently wrong fixpoint.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ from __future__ import annotations
 import enum
 from collections.abc import Callable, Iterable, Sequence
 from typing import TypeVar
+
+from repro.errors import DataflowDivergenceError
 
 State = TypeVar("State")
 
@@ -71,7 +75,7 @@ def solve(
     while worklist:
         iterations += 1
         if iterations > max_iterations:
-            raise RuntimeError("dataflow failed to converge (non-monotone transfer?)")
+            raise DataflowDivergenceError(iterations, node=worklist[0][1])
         _, n = heapq.heappop(worklist)
         on_list.discard(n)
         incoming = [out[p] for p in flow_in(n)]

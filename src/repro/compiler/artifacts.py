@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # avoid cycles: pipeline/diagnostics import this module
 #: machinery): the persistent store (:mod:`repro.store`) mixes it into
 #: its schema fingerprint, so old on-disk entries become invisible
 #: instead of being unpickled into a mismatched object graph.
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Canonical pass order.  A pass set is always run in this order; custom
 #: pass lists are validated against each pass's declared inputs/outputs.
@@ -53,6 +53,7 @@ PASS_ORDER: tuple[str, ...] = (
     "codegen-naive",
     "schedule",
     "traffic-estimate",
+    "verify",
 )
 
 #: Passes every complete compilation needs (front end through codegen).
@@ -74,6 +75,7 @@ PASS_ANCHORS: dict[str, str] = {
     "codegen-naive": "Sec. 4 (naive always-copy baseline)",
     "schedule": "extension: PR 3 (Prylli & Tourancheau-style phases)",
     "traffic-estimate": "extension: PR 2 (static traffic oracle)",
+    "verify": "extension: PR 6 (static artifact verifier)",
 }
 
 

@@ -375,9 +375,12 @@ class SchedulePass:
     provides: tuple[str, ...] = ("plans",)
 
     def run(self, ctx: PassContext) -> dict[str, int]:
+        from repro.analysis.commsafety import certify_table
+
         policy = ctx.options.schedule or DEFAULT_POLICY
         table = CommPlanTable(policy)
         pairs = 0
+        built: list[tuple] = []
         for name, res in ctx.constructions.items():
             targets: dict[str, set[int]] = {}
             for op in ctx.codes[name].all_ops():
@@ -393,11 +396,17 @@ class SchedulePass:
                             continue
                         pairs += 1
                         table.build(versions[i], versions[j])
+                        built.append((versions[i], versions[j]))
+        # prove exact cover + one-port for every plan and stamp the
+        # provable ones statically_verified: the machine skips the runtime
+        # one-port re-check for their phases (repro.analysis.commsafety)
+        verified = certify_table(table, built)
         ctx.plans = table
         plans = table.plans()
         return {
             "plans": len(table),
             "pairs": pairs,
+            "verified": verified,
             "phases": sum(p.phase_count for p in plans),
             "messages": sum(p.message_count for p in plans),
         }
@@ -454,6 +463,48 @@ class TrafficEstimatePass:
             "predicted_bytes_max": bytes_hi,
             "predicted_messages_max": messages_hi,
         }
+
+
+class VerifyPass:
+    """Statically verify the artifact's invariants before it ships.
+
+    Runs the full checker of :mod:`repro.analysis.verify` -- CFG
+    well-formedness, mapping-version def-before-use (a forward dataflow on
+    the generic solver), remapping-graph/version-table liveness,
+    plan-table signature consistency, statement-key bijectivity -- over
+    everything the pipeline built.  Issues are recorded as ``error``
+    diagnostics in the compile report and raised as
+    :class:`~repro.errors.ArtifactVerificationError`: a compile that asked
+    for verification never hands out an artifact that fails it.  The same
+    checks guard every :mod:`repro.store` disk load (where failures evict
+    and degrade to recompile instead of raising).
+    """
+
+    name = "verify"
+    requires: tuple[str, ...] = ("graph",)
+    provides: tuple[str, ...] = ("verified",)
+
+    def run(self, ctx: PassContext) -> dict[str, int]:
+        from repro.analysis import verify as verify_mod
+        from repro.errors import ArtifactVerificationError
+
+        issues = []
+        for name, res in ctx.constructions.items():
+            issues.extend(
+                verify_mod.verify_subroutine(res, ctx.codes.get(name), name)
+            )
+        issues.extend(verify_mod.verify_plans(ctx.plans, ctx.constructions))
+        for issue in issues:
+            ctx.report.add(
+                "error",
+                str(issue),
+                subroutine=issue.subroutine,
+                pass_name=self.name,
+            )
+        if issues:
+            raise ArtifactVerificationError(issues)
+        checks = 4 * len(ctx.constructions) + (1 if ctx.plans is not None else 0)
+        return {"subroutines": len(ctx.constructions), "checks": checks, "issues": 0}
 
 
 # ---------------------------------------------------------------------------
@@ -595,6 +646,7 @@ class PassManager:
         "codegen-naive": lambda: CodegenPass(naive=True),
         "schedule": SchedulePass,
         "traffic-estimate": TrafficEstimatePass,
+        "verify": VerifyPass,
     }
 
     @classmethod

@@ -110,6 +110,56 @@ class MultipleLeavingMappingsError(RestrictionError):
 
 
 # ---------------------------------------------------------------------------
+# static-analysis errors
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for errors raised by the static-analysis subsystem
+    (:mod:`repro.analysis`)."""
+
+
+class DataflowDivergenceError(AnalysisError):
+    """The iterative dataflow solver hit its iteration bound.
+
+    All the paper's lattices are finite powersets, so a correctly stated
+    problem always converges; reaching the bound means the transfer
+    function is non-monotone (or the bound was set pathologically low).
+    The error carries ``iterations`` and the offending ``node`` so the
+    broken problem can be diagnosed rather than silently yielding a wrong
+    fixpoint."""
+
+    def __init__(self, iterations: int, node: int | None = None):
+        self.iterations = iterations
+        self.node = node
+        at = f" (last node: {node})" if node is not None else ""
+        super().__init__(
+            f"dataflow failed to converge after {iterations} iterations"
+            f"{at}: non-monotone transfer function?"
+        )
+
+
+class ArtifactVerificationError(AnalysisError):
+    """A compiled artifact failed static invariant verification.
+
+    Raised by :func:`repro.analysis.verify.assert_verified` (and the
+    opt-in ``verify`` pipeline pass) when
+    :func:`repro.analysis.verify.verify_artifact` finds structural or
+    semantic invariant violations.  The persistent store never raises
+    this: a disk-loaded artifact that fails deep verification is evicted
+    and treated as a miss instead (the load path degrades to recompile)."""
+
+    def __init__(self, issues: list):
+        self.issues = list(issues)
+        lines = "; ".join(str(i) for i in self.issues[:5])
+        more = f" (+{len(self.issues) - 5} more)" if len(self.issues) > 5 else ""
+        super().__init__(
+            f"artifact failed static verification with {len(self.issues)} "
+            f"issue(s): {lines}{more}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # runtime errors
 # ---------------------------------------------------------------------------
 

@@ -94,7 +94,12 @@ class Machine:
         self._procs[msg.src].clock += c
         self._procs[msg.dst].clock += c
 
-    def run_phase(self, messages: Sequence[Message], contended: bool = False) -> float:
+    def run_phase(
+        self,
+        messages: Sequence[Message],
+        contended: bool = False,
+        verified: bool = False,
+    ) -> float:
         """Run one bulk-synchronous communication round; returns its duration.
 
         A contention-free round must satisfy the one-port property: each
@@ -105,10 +110,17 @@ class Machine:
         arbitrary message sets and lasts as long as the busiest port's
         serialized send+receive work.  All processor clocks advance by the
         duration: the phase is a global step with a barrier.
+
+        ``verified=True`` skips the O(messages) one-port re-check: the
+        caller promises the phase comes from a plan whose safety was
+        already *proved* at compile time
+        (:func:`repro.analysis.commsafety.certify_plan` stamps such plans
+        ``statically_verified``).  Phases from unverified plans always pay
+        the runtime check.
         """
         if not messages:
             return 0.0
-        if not contended:
+        if not contended and not verified:
             check_one_port((m.src, m.dst) for m in messages)
         duration = self.cost.phase_time(
             [(m.src, m.dst, m.nbytes) for m in messages], contended

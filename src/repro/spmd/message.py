@@ -23,6 +23,38 @@ from dataclasses import dataclass, field
 from repro.errors import ScheduleError
 
 
+def one_port_problems(pairs: Iterable[tuple[int, int]]) -> list[str]:
+    """Every one-port violation in a phase's (sender, receiver) pairs.
+
+    The shared predicate behind both the runtime check
+    (:func:`check_one_port`) and the compile-time proof
+    (:mod:`repro.analysis.commsafety`): an empty list *is* the one-port
+    property.  Reports all violations, not just the first, so static
+    diagnostics can show the full damage of a bad phase.
+    """
+    problems: list[str] = []
+    senders: set[int] = set()
+    receivers: set[int] = set()
+    for src, dst in pairs:
+        if src == dst:
+            problems.append(
+                f"local copy (rank {src}) inside a phase; local transfers "
+                "are not messages"
+            )
+            continue
+        if src in senders:
+            problems.append(
+                f"rank {src} sends twice in one contention-free phase"
+            )
+        if dst in receivers:
+            problems.append(
+                f"rank {dst} receives twice in one contention-free phase"
+            )
+        senders.add(src)
+        receivers.add(dst)
+    return problems
+
+
 def check_one_port(pairs: Iterable[tuple[int, int]]) -> None:
     """Enforce the one-port property of a contention-free phase.
 
@@ -30,24 +62,9 @@ def check_one_port(pairs: Iterable[tuple[int, int]]) -> None:
     the single shared authority both :meth:`Machine.run_phase` and
     :meth:`~repro.spmd.schedule.CommPhase.check_one_port` delegate to.
     """
-    senders: set[int] = set()
-    receivers: set[int] = set()
-    for src, dst in pairs:
-        if src == dst:
-            raise ScheduleError(
-                f"local copy (rank {src}) inside a phase; local transfers "
-                "are not messages"
-            )
-        if src in senders:
-            raise ScheduleError(
-                f"rank {src} sends twice in one contention-free phase"
-            )
-        if dst in receivers:
-            raise ScheduleError(
-                f"rank {dst} receives twice in one contention-free phase"
-            )
-        senders.add(src)
-        receivers.add(dst)
+    problems = one_port_problems(pairs)
+    if problems:
+        raise ScheduleError(problems[0])
 
 
 @dataclass(frozen=True)

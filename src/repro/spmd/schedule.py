@@ -150,6 +150,14 @@ class CommSchedule:
     policy: str
     phases: tuple[CommPhase, ...]
     local_transfers: tuple[Transfer, ...]
+    #: Stamped ``True`` by :func:`repro.analysis.commsafety.certify_plan`
+    #: once the exact-cover and one-port properties have been *proved*
+    #: statically against the source/target mappings; the machine then
+    #: skips the O(messages) runtime re-validation of each phase
+    #: (:meth:`~repro.spmd.machine.Machine.run_phase`).  Plans built
+    #: outside the compiler (executor overlays, ad-hoc calls) stay
+    #: unstamped and keep the runtime check.
+    statically_verified: bool = False
 
     @property
     def phase_count(self) -> int:
@@ -344,7 +352,11 @@ def execute_comm_schedule(
                     tag=tag,
                 )
             )
-        machine.run_phase(messages, contended=phase.contended)
+        machine.run_phase(
+            messages,
+            contended=phase.contended,
+            verified=plan.statically_verified,
+        )
 
 
 def scheduled_redistribute(
@@ -451,3 +463,22 @@ class CommPlanTable:
             plan = plan_redistribution(src, dst, self.policy)
             self._plans[key] = plan
         return plan
+
+    def replace(self, src: Mapping, dst: Mapping, plan: CommSchedule) -> None:
+        """Swap in a new plan for an existing (src, dst) entry.
+
+        The hook :func:`repro.analysis.commsafety.certify_table` uses to
+        substitute a ``statically_verified`` copy after proving a freshly
+        built plan safe.  Like :meth:`build`, refuses on a frozen table
+        (a certified artifact is stamped *before* freezing)."""
+        key = self._key(src, dst)
+        if self._frozen:
+            raise ArtifactFrozenError(
+                "cannot replace a plan in a frozen CommPlanTable"
+            )
+        if key not in self._plans:
+            raise ScheduleError(
+                "CommPlanTable.replace: no existing plan for this "
+                "(source, target) signature pair"
+            )
+        self._plans[key] = plan

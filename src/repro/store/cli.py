@@ -7,9 +7,16 @@
 * ``gc``     -- enforce the size budget (LRU), drop stale schema
   generations and sweep orphaned temp files;
 * ``verify`` -- re-check every entry's integrity (header, length,
-  payload digest, unpickle); corrupt entries are evicted unless
-  ``--keep`` is given.  Exits non-zero when corruption was found, so CI
-  can gate on a clean store.
+  payload digest, unpickle); with ``--deep``, decoded artifacts also
+  pass the full static invariant checker
+  (:mod:`repro.analysis.verify`), catching hash-valid but semantically
+  corrupt entries.  Defective entries are evicted unless ``--keep`` is
+  given.  Exits non-zero when corruption was found, so CI can gate on a
+  clean store.
+
+Exit codes (shared with ``python -m repro.lint`` and
+``benchmarks/check_regression.py``): 0 = clean, 1 = findings, 2 =
+infrastructure error (no store at the given root).
 """
 
 from __future__ import annotations
@@ -59,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report corrupt entries without evicting them (dry run)",
     )
+    verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the static invariant checker over decoded artifacts",
+    )
     return parser
 
 
@@ -83,8 +95,10 @@ def main(argv: list[str] | None = None) -> int:
         report = dict(store.gc())
         report["entries_bytes"] = store.total_bytes
     else:  # verify
-        report = dict(store.verify(evict=not args.keep))
+        report = dict(store.verify(evict=not args.keep, deep=args.deep))
     print(json.dumps(report, indent=2, sort_keys=True))
-    if args.command == "verify" and report.get("corrupt"):
+    if args.command == "verify" and (
+        report.get("corrupt") or report.get("invariant_violations")
+    ):
         return 1
     return 0

@@ -50,7 +50,7 @@ import re
 import threading
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import IO, TYPE_CHECKING, Iterator
 
 from repro.errors import ArtifactStoreError
 
@@ -60,20 +60,20 @@ if TYPE_CHECKING:
 try:  # POSIX advisory locks; degrade to lock-free on platforms without them
     import fcntl
 
-    def _flock(fh) -> None:
+    def _flock(fh: IO[bytes]) -> None:
         fcntl.flock(fh, fcntl.LOCK_EX)
 
-    def _funlock(fh) -> None:
+    def _funlock(fh: IO[bytes]) -> None:
         fcntl.flock(fh, fcntl.LOCK_UN)
 
     HAVE_FLOCK = True
 except ImportError:  # pragma: no cover - non-POSIX fallback
     HAVE_FLOCK = False
 
-    def _flock(fh) -> None:
+    def _flock(fh: IO[bytes]) -> None:
         pass
 
-    def _funlock(fh) -> None:
+    def _funlock(fh: IO[bytes]) -> None:
         pass
 
 
@@ -193,7 +193,7 @@ class ArtifactStore:
         max_bytes: int | None = DEFAULT_MAX_BYTES,
         fingerprint: str | None = None,
         create: bool = True,
-    ):
+    ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.root = Path(root)
@@ -218,6 +218,7 @@ class ArtifactStore:
         self.stores = 0
         self.store_errors = 0
         self.corrupt_evicted = 0
+        self.semantic_evicted = 0
         self.lru_evicted = 0
 
     # -- paths and keys ----------------------------------------------------
@@ -323,9 +324,15 @@ class ArtifactStore:
         The stored digest is re-checked against the payload before
         unpickling; any mismatch -- truncation, tampering, a header that
         is not valid JSON -- evicts the entry and reports a miss, so a
-        corrupt store degrades to cold-compile behavior.  A verified load
-        refreshes the entry's mtime (the LRU recency the size bound
-        evicts by) and returns the artifact re-frozen.
+        corrupt store degrades to cold-compile behavior.  A decoded
+        artifact is then *deeply* verified -- the full static invariant
+        checker (:func:`repro.analysis.verify.verify_artifact`) runs over
+        its CFGs, remapping graphs, version annotations, plan table and
+        statement-keyed maps -- so a hash-valid but semantically corrupt
+        entry is also evicted (``semantic_evicted``) and recompiled, never
+        executed.  A verified load refreshes the entry's mtime (the LRU
+        recency the size bound evicts by) and returns the artifact
+        re-frozen.
         """
         path = self.entry_path(key)
         try:
@@ -340,12 +347,35 @@ class ArtifactStore:
             with self._lock:
                 self.misses += 1
             return None
+        if self._invariant_issues(artifact):
+            self._evict_entry(path, corrupt=True)
+            with self._lock:
+                self.semantic_evicted += 1
+                self.misses += 1
+            return None
         with contextlib.suppress(OSError):
             os.utime(path)
         with self._lock:
             self.hits += 1
         artifact.freeze()  # idempotent; pickling preserves frozen state
         return artifact
+
+    @staticmethod
+    def _invariant_issues(artifact: "CompiledProgram") -> list:
+        """Deep semantic verification; a non-empty list disqualifies.
+
+        Never raises: a checker crash on a mangled object graph counts as
+        one issue (the load path must degrade, not propagate)."""
+        from repro.analysis.verify import VerificationIssue, verify_artifact
+
+        try:
+            return verify_artifact(artifact)
+        except Exception as exc:  # pragma: no cover - defensive
+            return [
+                VerificationIssue(
+                    check="crash", message=f"verifier crashed: {exc!r}"
+                )
+            ]
 
     def _decode(self, blob: bytes) -> "CompiledProgram | None":
         """Header-check, digest-check and unpickle; ``None`` on any defect."""
@@ -550,15 +580,18 @@ class ArtifactStore:
             "sidecars_removed": sidecars_swept,
         }
 
-    def verify(self, evict: bool = True) -> dict[str, int]:
+    def verify(self, evict: bool = True, deep: bool = False) -> dict[str, int]:
         """Re-check every entry's integrity; returns a scan report.
 
         Each entry is decoded exactly as a load would decode it (header,
-        length, digest, unpickle); defective entries are evicted unless
-        ``evict=False`` (dry run).  The entry mtimes are left untouched,
-        so verification does not perturb LRU order.
+        length, digest, unpickle); with ``deep=True`` decoded artifacts
+        additionally pass the full static invariant checker
+        (:func:`repro.analysis.verify.verify_artifact`), catching
+        hash-valid but semantically corrupt entries.  Defective entries
+        are evicted unless ``evict=False`` (dry run).  The entry mtimes
+        are left untouched, so verification does not perturb LRU order.
         """
-        ok = corrupt = 0
+        ok = corrupt = invalid = 0
         for e in self._entries():
             path = Path(e.path)
             try:
@@ -566,15 +599,27 @@ class ArtifactStore:
                 blob = path.read_bytes()
             except OSError:
                 continue  # vanished mid-scan: another process's eviction
-            if self._decode(blob) is None:
+            artifact = self._decode(blob)
+            if artifact is None:
                 corrupt += 1
                 if evict:
                     self._evict_entry(path, corrupt=True)
+            elif deep and self._invariant_issues(artifact):
+                invalid += 1
+                if evict:
+                    self._evict_entry(path, corrupt=True)
+                    with self._lock:
+                        self.semantic_evicted += 1
             else:
                 ok += 1
                 with contextlib.suppress(OSError):
                     os.utime(path, (st.st_atime, st.st_mtime))
-        return {"entries": ok + corrupt, "ok": ok, "corrupt": corrupt}
+        return {
+            "entries": ok + corrupt + invalid,
+            "ok": ok,
+            "corrupt": corrupt,
+            "invariant_violations": invalid,
+        }
 
     def clear(self) -> None:
         """Remove every entry of this store's schema generation."""
@@ -612,6 +657,7 @@ class ArtifactStore:
                 "stores": self.stores,
                 "store_errors": self.store_errors,
                 "corrupt_evicted": self.corrupt_evicted,
+                "semantic_evicted": self.semantic_evicted,
                 "lru_evicted": self.lru_evicted,
             }
         counters.update(

@@ -1,0 +1,205 @@
+"""Static communication-safety proofs and the verified-plan fast path.
+
+The compiler proves exact-cover and one-port safety for every
+precompiled plan (:mod:`repro.analysis.commsafety`) and stamps what it
+proves; the machine then skips the O(messages) runtime re-validation.
+The differential criterion: stamped plans execute bit-identically to
+unstamped ones, and only genuinely safe plans ever get the stamp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+from repro.analysis.commsafety import certify_plan, prove_plan
+from repro.apps.workloads import random_environment, random_legal_subroutine
+from repro.mapping import DistFormat, Mapping, ProcessorArrangement
+from repro.mapping.ownership import layout_of
+from repro.spmd import build_comm_schedule, build_schedule
+
+SCHEDULED = ("naive", "round-robin", "aggregate")
+
+
+def _pair(nprocs=4, n=32):
+    p = ProcessorArrangement("P", (nprocs,))
+    return (
+        Mapping.simple((n,), (DistFormat.block(),), p),
+        Mapping.simple((n,), (DistFormat.cyclic(),), p),
+    )
+
+
+def _plan(src, dst, policy="round-robin"):
+    return build_comm_schedule(build_schedule(layout_of(src), layout_of(dst)), policy)
+
+
+def _run(compiled, w):
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(
+        conditions=dict(w["conditions"]),
+        bindings=dict(w["bindings"]),
+        inputs={k: v.copy() for k, v in w["inputs"].items()},
+    )
+    name = next(iter(compiled.subroutines))
+    result = Executor(compiled, machine, env).run(name)
+    values = {a: result.value(a) for a in compiled.get(name).sub.arrays}
+    return values, machine.stats
+
+
+# ---------------------------------------------------------------------------
+# the proof itself
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", SCHEDULED)
+def test_honest_plans_prove_clean(policy):
+    src, dst = _pair()
+    plan = _plan(src, dst, policy)
+    assert prove_plan(src, dst, plan) == []
+    certified = certify_plan(src, dst, plan)
+    assert certified.statically_verified
+    # idempotent: re-certification returns the already-stamped plan
+    assert certify_plan(src, dst, certified) is certified
+
+
+def test_double_send_phase_fails_the_proof():
+    """Mutation: duplicating a message breaks one-port AND exact cover."""
+    src, dst = _pair()
+    plan = _plan(src, dst, "round-robin")
+    phase = plan.phases[0]
+    bad_phase = dataclasses.replace(
+        phase, transfers=phase.transfers + (phase.transfers[0],)
+    )
+    bad = dataclasses.replace(plan, phases=(bad_phase,) + plan.phases[1:])
+    problems = prove_plan(src, dst, bad)
+    assert problems, "double-send plan must not prove clean"
+    assert any("twice" in p or "surplus" in p for p in problems), problems
+    assert not certify_plan(src, dst, bad).statically_verified
+
+
+def test_missing_transfer_fails_exact_cover():
+    src, dst = _pair()
+    plan = _plan(src, dst, "round-robin")
+    phase = plan.phases[0]
+    bad_phase = dataclasses.replace(phase, transfers=phase.transfers[1:])
+    bad = dataclasses.replace(plan, phases=(bad_phase,) + plan.phases[1:])
+    problems = prove_plan(src, dst, bad)
+    assert any("missing" in p for p in problems), problems
+
+
+def test_wrong_mapping_pair_fails_the_proof():
+    """A plan proved against the wrong (src, dst) must not certify."""
+    src, dst = _pair()
+    other_src, other_dst = _pair(n=64)
+    plan = _plan(src, dst)
+    assert prove_plan(other_src, other_dst, plan) != []
+    assert not certify_plan(other_src, other_dst, plan).statically_verified
+
+
+# ---------------------------------------------------------------------------
+# compiler integration: precompiled plans arrive stamped
+# ---------------------------------------------------------------------------
+
+
+FIG16 = """
+subroutine main(t)
+  integer n, t
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, t
+!hpf$   redistribute A(cyclic)
+    compute writes A reads A
+!hpf$   redistribute A(block)
+  enddo
+  compute reads A
+end
+"""
+
+W16 = dict(
+    bindings={"n": 16, "t": 5},
+    conditions={},
+    inputs={"a": np.arange(16.0)},
+)
+
+
+@pytest.mark.parametrize("policy", SCHEDULED)
+def test_schedule_pass_stamps_every_plan(policy):
+    compiled = compile_program(
+        FIG16,
+        bindings=W16["bindings"],
+        processors=4,
+        options=CompilerOptions(level=3, schedule=policy),
+    )
+    assert compiled.plans is not None
+    plans = list(compiled.plans._plans.values())
+    assert plans, "fig16 must precompile at least one plan"
+    assert all(p.statically_verified for p in plans)
+
+
+def test_verified_plans_skip_runtime_validation(monkeypatch):
+    """The stamp is what gates the fast path: stamped plans never call the
+    one-port re-check, unstamped (runtime overlay) plans always do."""
+    import repro.spmd.machine as machine_mod
+
+    calls = {"n": 0}
+    real = machine_mod.check_one_port
+
+    def counting(pairs):
+        calls["n"] += 1
+        return real(pairs)
+
+    monkeypatch.setattr(machine_mod, "check_one_port", counting)
+
+    compiled = compile_program(
+        FIG16,
+        bindings=W16["bindings"],
+        processors=4,
+        options=CompilerOptions(level=3, schedule="round-robin"),
+    )
+    calls["n"] = 0
+    stamped_values, stamped_stats = _run(compiled, W16)
+    assert calls["n"] == 0, "stamped plans must skip the runtime re-check"
+
+    overlay = dataclasses.replace(compiled, plans=None)  # runtime-built plans
+    calls["n"] = 0
+    overlay_values, overlay_stats = _run(overlay, W16)
+    assert calls["n"] > 0, "unstamped plans must keep the runtime re-check"
+
+    for a in stamped_values:
+        assert np.array_equal(stamped_values[a], overlay_values[a])
+    assert stamped_stats.bytes == overlay_stats.bytes
+    assert stamped_stats.messages == overlay_stats.messages
+
+
+# ---------------------------------------------------------------------------
+# the acceptance differential: seeds 0..200, every policy
+# ---------------------------------------------------------------------------
+
+
+def test_workload_seeds_verified_equals_unverified():
+    """Bit-identical values, bytes and messages between the stamped
+    precompiled plans and the unstamped runtime-overlay path."""
+    for seed in range(201):
+        rng = np.random.default_rng(seed)
+        program = random_legal_subroutine(rng, n_arrays=2, length=5, depth=1)
+        conditions, inputs = random_environment(rng, n_arrays=2)
+        w = dict(bindings={}, conditions=conditions, inputs=inputs)
+        for policy in SCHEDULED:
+            compiled = compile_program(
+                program, processors=4, options=CompilerOptions(level=3, schedule=policy)
+            )
+            stamped = [
+                p.statically_verified for p in compiled.plans._plans.values()
+            ]
+            assert all(stamped), (seed, policy)
+            v1, s1 = _run(compiled, w)
+            v2, s2 = _run(dataclasses.replace(compiled, plans=None), w)
+            for a in v1:
+                assert np.array_equal(v1[a], v2[a]), (seed, policy, a)
+            assert s1.bytes == s2.bytes, (seed, policy)
+            assert s1.messages == s2.messages, (seed, policy)

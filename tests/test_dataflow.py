@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.dataflow import Direction, solve
+from repro.errors import DataflowDivergenceError
 
 
 def diamond():
@@ -85,7 +86,7 @@ def test_non_monotone_transfer_detected():
         counter["v"] += 1
         return counter["v"]
 
-    with pytest.raises(RuntimeError):
+    with pytest.raises(DataflowDivergenceError) as exc:
         solve(
             [0, 1],
             preds=lambda n: [0] if n == 1 else [1],
@@ -97,6 +98,43 @@ def test_non_monotone_transfer_detected():
             equal=lambda a, b: a == b,
             max_iterations=100,
         )
+    # the dedicated error is diagnosable: iteration count and node travel
+    assert exc.value.iterations == 101
+    assert exc.value.node in (0, 1)
+    assert "non-monotone" in str(exc.value)
+
+
+def test_empty_graph_solves_to_empty_states():
+    into, out = solve(
+        [],
+        preds=lambda n: [],
+        succs=lambda n: [],
+        direction=Direction.FORWARD,
+        boundary=lambda n: frozenset(),
+        transfer=lambda n, s: s,
+        join=lambda n, states: frozenset().union(*states) if states else frozenset(),
+        equal=lambda a, b: a == b,
+    )
+    assert into == {}
+    assert out == {}
+
+
+def test_single_node_self_loop_converges():
+    """One node feeding itself: the join sees the node's own output and
+    the fixpoint must still be reached (monotone transfer)."""
+    gen = {"x"}
+    into, out = solve(
+        [0],
+        preds=lambda n: [0],
+        succs=lambda n: [0],
+        direction=Direction.FORWARD,
+        boundary=lambda n: frozenset(),
+        transfer=lambda n, s: frozenset(s | gen),
+        join=lambda n, states: frozenset().union(*states) if states else frozenset(),
+        equal=lambda a, b: a == b,
+    )
+    assert into[0] == {"x"}  # its own out state flows back around
+    assert out[0] == {"x"}
 
 
 def test_deterministic_order_is_priority_based():

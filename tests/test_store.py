@@ -598,7 +598,12 @@ def test_cli_stats_gc_verify(tmp_path, capsys):
     assert stats["entries"] == 1 and stats["total_bytes"] > 0
     assert store_cli(["verify", "--dir", root]) == 0
     report = json.loads(capsys.readouterr().out)
-    assert report == {"entries": 1, "ok": 1, "corrupt": 0}
+    assert report == {
+        "entries": 1,
+        "ok": 1,
+        "corrupt": 0,
+        "invariant_violations": 0,
+    }
     # corrupt the entry: verify reports (and evicts) it, exit code 1
     blob = path.read_bytes()
     path.write_bytes(blob[:-3])
