@@ -1,0 +1,212 @@
+"""Experiment SYMBOLIC: compile once, instantiate every (n, P).
+
+The PR 7 trajectory claim: a shape-symbolic program is compiled to a
+:class:`~repro.compiler.template.SymbolicTemplate` exactly once, and
+every further ``(n, P)`` request is served by *instantiating* the
+template -- only the cheap structural pipeline tail runs, and the
+schedule plan table stays lazy behind a shared memo.
+
+One program (the Fig. 16 loop kernel, extents symbolic in ``n``) is
+requested at 32 distinct ``(n, P)`` pairs, two ways:
+
+* **cold sweep** (fresh :class:`~repro.compiler.CompilerSession` per
+  request, one shared :class:`~repro.store.ArtifactStore`): every request
+  after the first must be answered from the store's single shape-erased
+  template entry -- the *store hit rate* over the whole sweep is
+  ``31/32`` and is asserted ``>= 0.9``;
+* **warm sweep** (one session holding the template in memory): per-pair
+  instantiation time vs a from-scratch concrete compile at the same
+  ``(n, P)``.  Instantiation is asserted ``>= 20x`` cheaper.
+
+Differential soundness rides along: for a sample of pairs the
+instantiated artifact must execute bit-identically (values, bytes,
+messages) to the from-scratch concrete compile.
+
+Results are written machine-readably to ``BENCH_symbolic.json`` (or the
+shared ``--json PATH`` flag) and gated by ``check_regression.py``.
+``BENCH_SYMBOLIC_SIZES`` / ``BENCH_SYMBOLIC_PROCS`` reshape the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import (
+    CompilerOptions,
+    CompilerSession,
+    ExecutionEnv,
+    Executor,
+    Machine,
+    compile_program,
+)
+from repro.store import ArtifactStore
+
+FIG16 = """
+subroutine main(t)
+  integer n, t
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute writes A
+  do i = 1, t
+!hpf$   redistribute A(cyclic)
+    compute writes A reads A
+!hpf$   redistribute A(block)
+  enddo
+  compute reads A
+end
+"""
+
+SIZES = tuple(
+    int(n)
+    for n in os.environ.get("BENCH_SYMBOLIC_SIZES", "64,96,128,192,256,384,512,768").split(",")
+)
+PROCS = tuple(
+    int(p) for p in os.environ.get("BENCH_SYMBOLIC_PROCS", "2,3,4,8").split(",")
+)
+POLICY = "round-robin"
+
+#: the sweep: every (n, P) combination, first pair is the one cold compile
+PAIRS = [(n, p) for n in SIZES for p in PROCS]
+
+
+def _request(session: CompilerSession, n: int, p: int):
+    return session.compile_traced(FIG16, bindings={"n": n, "t": 3}, processors=p)
+
+
+def _execute(compiled, n: int):
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(bindings={"n": n, "t": 3}, inputs={"a": np.arange(float(n))})
+    result = Executor(compiled, machine, env).run("main")
+    return result.value("a"), machine.stats
+
+
+def _cold_sweep(store_dir: str) -> dict:
+    """Fresh session per request, shared store: cross-process first contact."""
+    opts = CompilerOptions.symbolic(level=3, schedule=POLICY)
+    store = ArtifactStore(store_dir)
+    tiers = []
+    seconds = 0.0
+    for n, p in PAIRS:
+        session = CompilerSession(store=store, options=opts)
+        t0 = time.perf_counter()
+        _, tier = _request(session, n, p)
+        seconds += time.perf_counter() - t0
+        tiers.append(tier)
+    assert tiers[0] == "compiled" and all(t == "instantiated" for t in tiers[1:]), tiers
+    stats = store.stats
+    # shape-diverse traffic collapsed to ONE disk entry
+    assert stats["entries_template"] == 1 and stats["entries_concrete"] == 0, stats
+    hit_rate = stats["hits_template"] / len(PAIRS)
+    return {
+        "requests": len(PAIRS),
+        "store_hit_rate": hit_rate,
+        "shape_reuse_ratio": stats["shape_reuse_ratio"],
+        "store_entries": stats["entries_template"],
+        "mean_request_ms": seconds / len(PAIRS) * 1e3,
+    }
+
+
+def _warm_sweep() -> dict:
+    """One session holding the template: per-pair instantiation vs compile."""
+    opts = CompilerOptions.symbolic(level=3, schedule=POLICY)
+    session = CompilerSession(options=opts)
+    n0, p0 = PAIRS[0]
+    t0 = time.perf_counter()
+    _request(session, n0, p0)
+    first_compile_s = time.perf_counter() - t0
+
+    inst_s = 0.0
+    for n, p in PAIRS[1:]:
+        t0 = time.perf_counter()
+        _, tier = _request(session, n, p)
+        inst_s += time.perf_counter() - t0
+        assert tier == "instantiated", (n, p, tier)
+
+    concrete_s = 0.0
+    for n, p in PAIRS[1:]:
+        t0 = time.perf_counter()
+        compile_program(
+            FIG16,
+            bindings={"n": n, "t": 3},
+            processors=p,
+            options=CompilerOptions(level=3, schedule=POLICY),
+        )
+        concrete_s += time.perf_counter() - t0
+
+    served = len(PAIRS) - 1
+    return {
+        "first_compile_ms": first_compile_s * 1e3,
+        "instantiate_ms_mean": inst_s / served * 1e3,
+        "concrete_ms_mean": concrete_s / served * 1e3,
+        "speedup": concrete_s / inst_s,
+        "instantiations": session.stats["instantiations"],
+    }
+
+
+def test_symbolic_instantiation_vs_concrete(benchmark, bench_json):
+    assert len(PAIRS) >= 32, "the sweep must cover at least 32 (n, P) pairs"
+    assert len(set(PAIRS)) == len(PAIRS)
+
+    # differential soundness sample: instantiated == from-scratch concrete
+    opts = CompilerOptions.symbolic(level=3, schedule=POLICY)
+    session = CompilerSession(options=opts)
+    for n, p in (PAIRS[0], PAIRS[5], PAIRS[-1]):
+        inst, _ = _request(session, n, p)
+        ref = compile_program(
+            FIG16,
+            bindings={"n": n, "t": 3},
+            processors=p,
+            options=CompilerOptions(level=3, schedule=POLICY),
+        )
+        got_v, got_s = _execute(inst, n)
+        ref_v, ref_s = _execute(ref, n)
+        assert np.array_equal(got_v, ref_v), (n, p)
+        assert (got_s.bytes, got_s.messages) == (ref_s.bytes, ref_s.messages), (n, p)
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        cold = _cold_sweep(store_dir)
+    warm = _warm_sweep()
+
+    # the two headline claims
+    assert cold["store_hit_rate"] >= 0.9, cold
+    assert warm["speedup"] >= 20.0, warm
+
+    path = bench_json(
+        "BENCH_symbolic.json",
+        {
+            "experiment": "symbolic-templates",
+            "program": "fig16",
+            "policy": POLICY,
+            "sizes": list(SIZES),
+            "procs": list(PROCS),
+            "pairs": len(PAIRS),
+            "cold": cold,
+            "warm": warm,
+        },
+    )
+
+    # the timed kernel: one instantiation at a fresh (n, P)
+    counter = iter(range(10_000))
+
+    def _instantiate_once():
+        n = 1024 + 4 * next(counter)  # always a shape the session never saw
+        compiled, tier = _request(session, n, 4)
+        assert tier == "instantiated"
+        return compiled
+
+    benchmark(_instantiate_once)
+    benchmark.extra_info.update(
+        {
+            "json_path": path,
+            "pairs": len(PAIRS),
+            "store_hit_rate": round(cold["store_hit_rate"], 4),
+            "speedup_vs_concrete": round(warm["speedup"], 1),
+            "instantiate_ms_mean": round(warm["instantiate_ms_mean"], 3),
+            "concrete_ms_mean": round(warm["concrete_ms_mean"], 3),
+        }
+    )

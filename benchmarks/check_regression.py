@@ -1,10 +1,10 @@
 """Perf-regression gate: fresh benchmark output vs committed baselines.
 
-CI's ``bench-smoke`` leg runs the schedule and service benchmarks, then
-invokes this script to compare the freshly produced
-``BENCH_schedule.json`` / ``BENCH_service.json`` against the committed
-baselines in ``benchmarks/baselines/``.  The perf trajectory is thereby
-*gated*, not merely uploaded.
+CI's ``bench-smoke`` leg runs the schedule, service and symbolic
+benchmarks, then invokes this script to compare the freshly produced
+``BENCH_schedule.json`` / ``BENCH_service.json`` / ``BENCH_symbolic.json``
+against the committed baselines in ``benchmarks/baselines/``.  The perf
+trajectory is thereby *gated*, not merely uploaded.
 
 Tolerances are deliberately generous -- runners differ in cores, clock
 and load -- so only regressions that cannot be machine noise fail:
@@ -20,7 +20,10 @@ and load -- so only regressions that cannot be machine noise fail:
 * **throughput loss past the bound**: warm requests-per-second per
   worker count below half the committed baseline.  The warm sweep is
   I/O-modelled (the sleep dominates), which keeps it comparable across
-  machines.
+  machines;
+* **symbolic-template floors**: the shape-diverse sweep must keep its
+  >= 0.9 store hit rate, collapse to one shape-erased entry, and keep
+  instantiation >= 20x cheaper than a concrete compile.
 
 Only worker counts / cases present in *both* files are compared, so CI's
 smaller smoke sweeps gate against the full committed baselines.  Exit
@@ -148,6 +151,48 @@ def check_service(
     return problems, compared
 
 
+def check_symbolic(
+    fresh: dict, baseline: dict, max_slowdown: float
+) -> tuple[list[str], int]:
+    """Gate the symbolic-template trajectory (see :func:`check_schedule`
+    on why zero comparisons must not pass).
+
+    Two absolute floors (the benchmark's headline claims, re-checked here
+    so a weakened assertion cannot slip through) plus a relative bound on
+    the instantiation latency vs the committed baseline.
+    """
+    problems: list[str] = []
+    compared = 0
+    cold, warm = fresh["cold"], fresh["warm"]
+    compared += 1
+    if float(cold["store_hit_rate"]) < 0.9:
+        problems.append(
+            f"symbolic: store hit rate {float(cold['store_hit_rate']):.3f} fell "
+            "below the asserted 0.9 floor"
+        )
+    if int(cold["store_entries"]) != 1:
+        problems.append(
+            f"symbolic: shape-diverse sweep left {cold['store_entries']} store "
+            "entries (shape-erased keying must collapse them to 1)"
+        )
+    if float(warm["speedup"]) < 20.0:
+        problems.append(
+            f"symbolic: instantiation only {float(warm['speedup']):.1f}x cheaper "
+            "than concrete compile (asserted floor: 20x)"
+        )
+    base_warm = baseline.get("warm")
+    if base_warm is not None and fresh.get("pairs") == baseline.get("pairs"):
+        compared += 1
+        f_ms = float(warm["instantiate_ms_mean"])
+        b_ms = float(base_warm["instantiate_ms_mean"])
+        if b_ms > 0 and f_ms > max_slowdown * b_ms:
+            problems.append(
+                f"symbolic: per-pair instantiation regressed {f_ms:.2f}ms vs "
+                f"baseline {b_ms:.2f}ms (> {max_slowdown:g}x)"
+            )
+    return problems, compared
+
+
 def main(argv: list[str] | None = None) -> int:
     here = Path(__file__).resolve().parent
     parser = argparse.ArgumentParser(description="gate fresh BENCH json vs baselines")
@@ -176,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, check in (
         ("BENCH_schedule.json", check_schedule),
         ("BENCH_service.json", check_service),
+        ("BENCH_symbolic.json", check_symbolic),
     ):
         fresh_path = args.fresh_dir / name
         base_path = args.baseline_dir / name

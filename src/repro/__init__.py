@@ -93,7 +93,7 @@ from repro.spmd import (
 )
 from repro.store import ArtifactStore, schema_fingerprint
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Alignment",

@@ -21,6 +21,11 @@ RPR005   scenario-unreachable branch: over every enumerated
          branch-outcome/trip-count scenario
          (:func:`repro.spmd.traffic.enumerate_scenarios`), the
          branch condition is never even evaluated
+RPR006   constant shape symbol: a size binding the symbolize
+         classifier treats as shape-symbolic is bound to the same
+         constant by every request of the supplied workload --
+         declaring it compile-relevant would bake it into the
+         symbolic template instead of parameterizing over it
 =======  ==========================================================
 
 All rules run on the *unoptimized* construction (``remove-useless``
@@ -66,6 +71,7 @@ LINT_RULES: dict[str, str] = {
     "RPR003": "kill of an array that cannot hold live values",
     "RPR004": "CFG node unreachable from the entry",
     "RPR005": "branch never evaluated under any enumerated scenario",
+    "RPR006": "shape-symbolic size binding constant across the whole workload",
 }
 
 
@@ -370,6 +376,52 @@ def _lint_scenarios(
 
 
 # ---------------------------------------------------------------------------
+# RPR006: shape-symbolic bindings that a workload never actually varies
+# ---------------------------------------------------------------------------
+
+
+def _lint_workload_bindings(
+    program: Program, workload: list[dict[str, int]]
+) -> list[Finding]:
+    """Shape symbols the whole workload binds to one constant.
+
+    A name the symbolize classifier calls shape-symbolic
+    (:func:`repro.symbolic.classify.classify_bindings`) is erased from
+    template keys and parameterized over -- pure cost if every request
+    binds it to the same value.  Needs at least two requests: a single
+    binding set proves nothing about variation.
+    """
+    from repro.symbolic.classify import classify_bindings
+
+    if len(workload) < 2:
+        return []
+    info = classify_bindings(program)
+    sub_name = program.subroutines[0].name if program.subroutines else "<program>"
+    findings: list[Finding] = []
+    for name in sorted(info.shape_symbolic):
+        if not all(name in w for w in workload):
+            continue
+        values = {w[name] for w in workload}
+        if len(values) == 1:
+            findings.append(
+                Finding(
+                    rule="RPR006",
+                    severity="warning",
+                    message=(
+                        f"size binding {name!r} is shape-symbolic but all "
+                        f"{len(workload)} workload request(s) bind it to the "
+                        f"same constant ({values.pop()}); making it "
+                        "compile-relevant would bake the value into the "
+                        "symbolic template instead of parameterizing over it"
+                    ),
+                    subroutine=sub_name,
+                    array=name,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
 
@@ -389,16 +441,20 @@ def lint_program(
     processors: int = 4,
     max_scenarios: int = 96,
     report: CompileReport | None = None,
+    workload: list[dict[str, int]] | None = None,
 ) -> list[Finding]:
     """Compile ``source`` unoptimized and run every lint rule.
 
     The front end and construction run exactly as the compiler's
     (``parse``/``resolve``/``construction``/``codegen``), but without
     ``remove-useless`` -- the lints describe what the *user wrote*, not
-    what the optimizer left.  When a ``report`` is given, findings are
-    additionally surfaced through the standard
-    :class:`~repro.compiler.diagnostics.CompileReport` plumbing as
-    ``warning`` diagnostics of the ``lint`` pass.
+    what the optimizer left.  ``workload`` -- the binding dicts of the
+    requests this source actually serves -- enables the RPR006 rule
+    (shape symbols the workload never varies); without it the rule is
+    silent, since one binding set proves nothing about variation.  When
+    a ``report`` is given, findings are additionally surfaced through
+    the standard :class:`~repro.compiler.diagnostics.CompileReport`
+    plumbing as ``warning`` diagnostics of the ``lint`` pass.
     """
     from repro.compiler.artifacts import CompilerOptions
     from repro.compiler.pipeline import PassManager
@@ -428,6 +484,8 @@ def lint_program(
                 ctx.constructions, ctx.codes, name, bindings, max_scenarios
             )
         )
+    if workload:
+        findings.extend(_lint_workload_bindings(ctx.program, workload))
     findings.sort(key=lambda f: (f.subroutine, f.node if f.node is not None else -1, f.rule))
     if report is not None:
         for f in findings:

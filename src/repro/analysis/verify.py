@@ -49,6 +49,7 @@ from repro.spmd.schedule import POLICIES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.compiler.artifacts import CompiledProgram
+    from repro.compiler.template import SymbolicTemplate
     from repro.remap.codegen import GeneratedCode
     from repro.remap.construction import ConstructionResult
     from repro.spmd.schedule import CommPlanTable
@@ -62,6 +63,7 @@ __all__ = [
     "verify_plans",
     "verify_subroutine",
     "verify_artifact",
+    "verify_template",
     "assert_verified",
 ]
 
@@ -426,6 +428,67 @@ def verify_artifact(cp: "CompiledProgram") -> list[VerificationIssue]:
         constructions[name] = cs.construction
         issues += verify_subroutine(cs.construction, cs.code, name)
     issues += verify_plans(cp.plans, constructions)
+    return issues
+
+
+def verify_template(template: "SymbolicTemplate") -> list[VerificationIssue]:
+    """Every invariant check over a symbolic template; empty = verified.
+
+    A template cannot be checked directly the way a concrete artifact can
+    -- its geometry is parameterized -- so verification has two parts:
+
+    * **structural** -- the binding classification must partition (no name
+      both shape-symbolic and compile-relevant), at least one name must be
+      shape-symbolic (otherwise a concrete artifact should have been
+      stored) and no fixed binding may shadow a shape symbol;
+    * **probe instantiation** -- the template is instantiated at one small
+      concrete geometry and the result passes the *full* concrete checker
+      (:func:`verify_artifact`) plus the template's own closed-form
+      rectangle cross-check.  An entry whose stored AST, options or memo
+      were corrupted in a way that still unpickles will fail here and be
+      evicted by the store exactly like a corrupt concrete artifact.
+    """
+    issues: list[VerificationIssue] = []
+    cls = template.classification
+    overlap = cls.shape_symbolic & cls.compile_relevant
+    if overlap:
+        _issue(
+            issues,
+            "template",
+            f"binding names {sorted(overlap)} classified both shape-symbolic "
+            "and compile-relevant",
+            None,
+        )
+    if not cls.shape_symbolic:
+        _issue(
+            issues,
+            "template",
+            "template has no shape-symbolic bindings (should be concrete)",
+            None,
+        )
+    shadowed = cls.shape_symbolic & set(template.fixed_bindings)
+    if shadowed:
+        _issue(
+            issues,
+            "template",
+            f"fixed bindings shadow shape symbol(s) {sorted(shadowed)}",
+            None,
+        )
+    if issues:
+        return issues  # probe instantiation needs a sane classification
+    from repro.mapping.processors import ProcessorArrangement
+
+    bindings = {
+        name: 8 + 4 * i for i, name in enumerate(sorted(cls.shape_symbolic))
+    }
+    try:
+        compiled = template.instantiate(bindings, ProcessorArrangement("P", (2,)))
+    except Exception as exc:
+        _issue(issues, "template", f"probe instantiation failed: {exc!r}", None)
+        return issues
+    issues += verify_artifact(compiled)
+    for problem in template.verify_instantiation(compiled, bindings):
+        _issue(issues, "template", problem, None)
     return issues
 
 

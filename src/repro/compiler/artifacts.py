@@ -37,13 +37,14 @@ if TYPE_CHECKING:  # avoid cycles: pipeline/diagnostics import this module
 #: machinery): the persistent store (:mod:`repro.store`) mixes it into
 #: its schema fingerprint, so old on-disk entries become invisible
 #: instead of being unpickled into a mismatched object graph.
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Canonical pass order.  A pass set is always run in this order; custom
 #: pass lists are validated against each pass's declared inputs/outputs.
 PASS_ORDER: tuple[str, ...] = (
     "parse",
     "motion",
+    "symbolize",
     "resolve",
     "construction",
     "remove-useless",
@@ -66,6 +67,7 @@ MANDATORY_PASSES: frozenset[str] = frozenset({"parse", "resolve", "construction"
 PASS_ANCHORS: dict[str, str] = {
     "parse": "Sec. 2 (input language, Fig. 4/10 syntax)",
     "motion": "Fig. 16/17 (loop-invariant remapping motion)",
+    "symbolize": "extension: PR 7 (symbolic-shape templates)",
     "resolve": "Sec. 2 (mapping semantics, restrictions 1-3)",
     "construction": "Appendix B (remapping-graph construction)",
     "remove-useless": "Appendix C (useless remapping removal)",
@@ -179,6 +181,33 @@ class CompilerOptions:
     def from_passes(cls, passes) -> "CompilerOptions":
         """An options object for an explicit pass list (``level`` ignored)."""
         return cls(passes=tuple(passes))
+
+    @classmethod
+    def symbolic(
+        cls,
+        level: int = 3,
+        schedule: str | None = None,
+        cost: CostModel | None = None,
+    ) -> "CompilerOptions":
+        """Options for shape-generic compilation: ``level`` + ``symbolize``.
+
+        The ``symbolize`` pass is opt-in (no level includes it): it
+        classifies bindings shape-symbolic vs compile-relevant, makes the
+        motion cost guard prove placements over a *grid* of shapes, and
+        lets sessions build one :class:`SymbolicTemplate` per program
+        that instantiates every concrete (n, P) at request time.
+        """
+        passes = passes_for_level(level) + ("symbolize",)
+        return cls(
+            passes=passes,
+            cost=cost if cost is not None else CostModel(),
+            schedule=schedule,
+        )
+
+    @property
+    def symbolize(self) -> bool:
+        """True iff this compilation builds a shape-generic template."""
+        return "symbolize" in self.pass_names
 
     @property
     def pass_names(self) -> tuple[str, ...]:

@@ -17,15 +17,11 @@ from repro.lang.ast_nodes import (
     ArrayDecl,
     Call,
     Compute,
-    Do,
     DynamicDecl,
     Kill,
-    ProcessorsDecl,
     Program,
     Realign,
     Redistribute,
-    ScalarDecl,
-    TemplateDecl,
     walk_statements,
 )
 from repro.remap.motion import MotionReport, alignment_families
@@ -34,6 +30,7 @@ from repro.remap.optimize import RemovalReport
 if TYPE_CHECKING:
     from repro.compiler.pipeline import PipelineTrace
     from repro.spmd.traffic import TrafficRange
+    from repro.symbolic.classify import BindingClassification
 
 
 @dataclass(frozen=True)
@@ -50,6 +47,20 @@ class Diagnostic:
         return f"{self.severity}{where}: {self.message}"
 
 
+@dataclass(frozen=True)
+class SymbolicInfo:
+    """What the ``symbolize`` pass learned about one compilation.
+
+    ``program`` is the post-motion AST -- the exact source a
+    :class:`~repro.compiler.template.SymbolicTemplate` re-resolves with
+    concrete shape bindings at instantiation time (motion must not run
+    again there: its cost-guard decisions are part of the template).
+    """
+
+    classification: "BindingClassification"
+    program: Program
+
+
 @dataclass
 class CompileReport:
     """Everything the compiler has to say about one compilation."""
@@ -64,6 +75,10 @@ class CompileReport:
     #: binding names the *compilation* depends on (see
     #: :func:`compile_time_binding_names`); ``None`` = unknown, assume all
     binding_names: frozenset[str] | None = None
+    #: filled by the opt-in ``symbolize`` pass: the shape-symbolic vs
+    #: compile-relevant split plus the post-motion program, from which the
+    #: session builds a :class:`~repro.compiler.template.SymbolicTemplate`
+    symbolic: "SymbolicInfo | None" = None
 
     # -- collection ----------------------------------------------------------
 
@@ -131,22 +146,9 @@ def compile_time_binding_names(program: Program) -> frozenset[str]:
     the executor's fallback).  Everything else in ``bindings`` is
     runtime-only, so artifact caches may ignore it.
     """
-    names: set[str] = set()
-    for sub in program.subroutines:
-        scalars = {
-            n for d in sub.decls if isinstance(d, ScalarDecl) for n in d.names
-        }
-        for d in sub.decls:
-            if isinstance(d, (ArrayDecl, TemplateDecl, ProcessorsDecl)):
-                names.update(e for e in d.extents if isinstance(e, str))
-        for s in walk_statements(sub.body):
-            if isinstance(s, Do):
-                names.update(
-                    e
-                    for e in (s.lo, s.hi)
-                    if isinstance(e, str) and e not in scalars
-                )
-    return frozenset(names)
+    from repro.symbolic.classify import classify_bindings
+
+    return classify_bindings(program).all_compile_time
 
 
 # ---------------------------------------------------------------------------

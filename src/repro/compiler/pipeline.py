@@ -37,6 +37,7 @@ from repro.compiler.artifacts import (
 )
 from repro.compiler.diagnostics import (
     CompileReport,
+    SymbolicInfo,
     compile_time_binding_names,
     frontend_warnings,
 )
@@ -51,15 +52,16 @@ from repro.remap import construction as construction_mod
 from repro.remap import livecopies as livecopies_mod
 from repro.remap import motion as motion_mod
 from repro.remap import optimize as optimize_mod
-from repro.remap.codegen import GeneratedCode, RemapOp, RestoreOp, generate_code
+from repro.remap.codegen import GeneratedCode, generate_code, reachable_plan_pairs
 from repro.remap.construction import ConstructionResult, build_remapping_graph
-from repro.remap.costguard import CostGuard, GuardFlags
+from repro.remap.costguard import CostGuard, GuardFlags, ShapeGenericGuard
 from repro.remap.graph import RemappingGraph
 from repro.remap.livecopies import compute_live_copies
 from repro.remap.motion import MotionReport, hoist_loop_invariant_remaps
 from repro.remap.optimize import remove_useless_remappings
 from repro.spmd.schedule import DEFAULT_POLICY, CommPlanTable
 from repro.spmd.traffic import estimate_range
+from repro.symbolic.classify import classify_bindings
 
 
 # ---------------------------------------------------------------------------
@@ -199,20 +201,41 @@ class MotionPass:
     provides = motion_mod.PASS_PROVIDES
 
     @staticmethod
-    def _guard(ctx: PassContext) -> CostGuard | None:
+    def _guard(ctx: PassContext) -> "CostGuard | ShapeGenericGuard | None":
         names = set(ctx.options.pass_names)
         codegen_able = "codegen" in names or "codegen-naive" in names
         if not ({"resolve", "construction"} <= names and codegen_able):
             return None  # partial pipeline: nothing executable to price
+        flags = GuardFlags(
+            remove_useless="remove-useless" in names,
+            live_copies="live-copies" in names,
+            status_checks="status-checks" in names,
+            naive="codegen-naive" in names,
+        )
+        if "symbolize" in names:
+            # Shape-erased compilation: motion decisions become part of a
+            # SymbolicTemplate replayed at every (n, P), so the guard must
+            # not see this request's shape bindings or processor count --
+            # it prices candidates on a fixed probe grid instead, keeping
+            # only compile-time binding values (which are in the key).
+            assert ctx.program is not None
+            info = classify_bindings(ctx.program)
+            bindings = {
+                k: v
+                for k, v in (ctx.bindings or {}).items()
+                if k in info.all_compile_time
+            }
+            return ShapeGenericGuard(
+                shape_names=info.shape_symbolic,
+                bindings=bindings,
+                flags=flags,
+                cost=ctx.options.cost,
+                schedule=ctx.options.schedule,
+            )
         return CostGuard(
             bindings=ctx.bindings,
             processors=ctx.processors,
-            flags=GuardFlags(
-                remove_useless="remove-useless" in names,
-                live_copies="live-copies" in names,
-                status_checks="status-checks" in names,
-                naive="codegen-naive" in names,
-            ),
+            flags=flags,
             cost=ctx.options.cost,
             schedule=ctx.options.schedule,
         )
@@ -238,6 +261,35 @@ class MotionPass:
         return {
             "sunk": sum(r.count for r in ctx.report.motion.values()),
             "rejected": sum(r.rejected_count for r in ctx.report.motion.values()),
+        }
+
+
+class SymbolizePass:
+    """Classify binding names and capture the template source (PR 7).
+
+    Runs right after motion: splits the program's compile-time binding
+    names into *shape-symbolic* (array/template extents erasable from the
+    artifact key) and *compile-relevant* (processor extents, non-shape
+    loop bounds), and records the post-motion AST in the report --
+    together they are everything
+    :class:`~repro.compiler.template.SymbolicTemplate` needs to
+    re-resolve the program at any concrete ``(n, P)`` without re-running
+    motion (whose shape-generic decisions are already baked into the
+    AST).  Purely analytical: touches no downstream facts, so the
+    concrete compilation proceeds unchanged.
+    """
+
+    name = "symbolize"
+    requires: tuple[str, ...] = ("ast",)
+    provides: tuple[str, ...] = ("symbolized",)
+
+    def run(self, ctx: PassContext) -> dict[str, int]:
+        assert ctx.program is not None
+        info = classify_bindings(ctx.program)
+        ctx.report.symbolic = SymbolicInfo(classification=info, program=ctx.program)
+        return {
+            "shape_symbolic": len(info.shape_symbolic),
+            "compile_relevant": len(info.compile_relevant),
         }
 
 
@@ -382,21 +434,10 @@ class SchedulePass:
         pairs = 0
         built: list[tuple] = []
         for name, res in ctx.constructions.items():
-            targets: dict[str, set[int]] = {}
-            for op in ctx.codes[name].all_ops():
-                if isinstance(op, RemapOp):
-                    targets.setdefault(op.array, set()).add(op.leaving)
-                elif isinstance(op, RestoreOp):
-                    targets.setdefault(op.array, set()).update(op.possible)
-            for array, leavings in targets.items():
-                versions = res.versions.versions(array)
-                for j in sorted(leavings):
-                    for i in range(len(versions)):
-                        if i == j:
-                            continue
-                        pairs += 1
-                        table.build(versions[i], versions[j])
-                        built.append((versions[i], versions[j]))
+            for src, dst in reachable_plan_pairs(res, ctx.codes[name]):
+                pairs += 1
+                table.build(src, dst)
+                built.append((src, dst))
         # prove exact cover + one-port for every plan and stamp the
         # provable ones statically_verified: the machine skips the runtime
         # one-port re-check for their phases (repro.analysis.commsafety)
@@ -637,6 +678,7 @@ class PassManager:
     _registry: dict[str, Callable[[], Pass]] = {
         "parse": ParsePass,
         "motion": MotionPass,
+        "symbolize": SymbolizePass,
         "resolve": ResolvePass,
         "construction": ConstructionPass,
         "remove-useless": RemoveUselessPass,

@@ -8,7 +8,17 @@ grows a disk tier: lookups go memory -> disk -> compile, fresh compiles
 are written back, and a *new process* sharing the store warm-starts from
 the artifacts (plans included) an earlier process compiled --
 :meth:`CompilerSession.compile_traced` reports which tier served each
-call.  After the first compile of a
+call.
+
+Requests compiled with the opt-in ``symbolize`` pass get a fourth tier:
+the session keeps :class:`~repro.compiler.template.SymbolicTemplate`
+artifacts under a *shape-erased* key (shape-symbolic binding values and
+the processor arrangement dropped), so a request for a never-seen
+``(n, P)`` is served by instantiating the template (tier
+``"instantiated"``) instead of compiling from scratch.  On disk the
+template is the *only* entry written for such a source -- shape-diverse
+traffic collapses to one store entry per (source, compile-relevant
+bindings, options) rather than one per shape.  After the first compile of a
 source the session learns which binding names the compilation actually
 depends on (declaration extents; see
 :func:`~repro.compiler.diagnostics.compile_time_binding_names`), so
@@ -66,6 +76,7 @@ from repro.lang.printer import print_program, print_subroutine
 from repro.mapping.processors import ProcessorArrangement
 
 if TYPE_CHECKING:
+    from repro.compiler.template import SymbolicTemplate
     from repro.runtime.executor import ExecutionResult
     from repro.spmd.machine import Machine
     from repro.store import ArtifactStore
@@ -163,6 +174,10 @@ class CompilerSession:
             store = ArtifactStore(store)
         self.store = store
         self._cache: OrderedDict[SessionKey, CompiledProgram] = OrderedDict()
+        # shape-erased symbolic templates, keyed like artifacts but with
+        # shape bindings and the processor arrangement dropped; one
+        # template serves every (n, P) of its source
+        self._templates: "OrderedDict[tuple, SymbolicTemplate]" = OrderedDict()
         # digests whose store binding-names sidecar was already consulted
         # (memoizes misses; a learned digest never re-reads the sidecar)
         self._names_checked: set[str] = set()
@@ -170,6 +185,12 @@ class CompilerSession:
         # runtime-only bindings (loop bounds etc.) are excluded from keys
         # once the first compile of a source has taught us which is which
         self._binding_names: dict[str, frozenset[str]] = {}
+        # per-source-digest: the shape-symbolic subset of those names
+        # (learned from the symbolize pass or the store's sidecar); needed
+        # to erase shape values from template keys.  An empty set is a
+        # positive fact -- "classified, nothing symbolic" -- distinct from
+        # an absent entry ("never classified")
+        self._shape_names: dict[str, frozenset[str]] = {}
         # guards _cache, _binding_names and the counters; never held while
         # a pipeline runs, so distinct-source compiles overlap freely
         self._lock = threading.RLock()
@@ -181,6 +202,9 @@ class CompilerSession:
         # misses answered from the store, and artifacts written back
         self.store_hits = 0
         self.store_writes = 0
+        # misses served by instantiating a symbolic template (no pipeline
+        # front end ran; only the cheap structural tail)
+        self.instantiations = 0
 
     # -- cache -------------------------------------------------------------
 
@@ -301,10 +325,51 @@ class CompilerSession:
         )
         return compiled, source_tier != "compiled"
 
+    def _template_key(
+        self,
+        digest: str,
+        bindings: dict[str, int] | None,
+        options: CompilerOptions,
+    ) -> tuple | None:
+        """The shape-erased key a symbolic template lives under (under lock).
+
+        Shape-symbolic binding values and the processor arrangement are
+        dropped -- one template serves every ``(n, P)`` -- while the
+        compile-relevant binding values stay (they are baked into the
+        template).  ``None`` when the source has no recorded shape
+        classification yet (fresh process, sidecar absent) or nothing is
+        shape-symbolic: both mean "no template can exist for this key".
+        """
+        shapes = self._shape_names.get(digest)
+        if not shapes:
+            return None
+        relevant = self._binding_names.get(digest) or frozenset()
+        items = tuple(
+            sorted(
+                (k, v)
+                for k, v in (bindings or {}).items()
+                if k in relevant and k not in shapes
+            )
+        )
+        return (
+            digest,
+            items,
+            None,
+            options.pass_names,
+            options.cost,
+            options.schedule,
+            "template",
+        )
+
     def _learn_names(self, digest: str, names: frozenset[str] | None) -> None:
         """Record a source's compile-relevant binding names (under lock)."""
         if names is not None and digest not in self._binding_names:
             self._binding_names[digest] = names
+
+    def _learn_shapes(self, digest: str, shapes: frozenset[str] | None) -> None:
+        """Record a source's shape-symbolic binding names (under lock)."""
+        if shapes is not None and digest not in self._shape_names:
+            self._shape_names[digest] = shapes
 
     def _maybe_adopt_names(self, digest: str) -> None:
         """Adopt the store's recorded binding names for a source (under lock).
@@ -312,7 +377,10 @@ class CompilerSession:
         Another process may have compiled this source already; adopting
         the names it recorded makes this session's keys refine exactly the
         same way, so runtime-only binding variants are disk hits instead
-        of misses.  Called from every key-computing entry point
+        of misses -- and adopting the recorded *shape* split makes this
+        session compute the same shape-erased template key, so its first
+        contact with a symbolized source is a template instantiation, not
+        a cold compile.  Called from every key-computing entry point
         (:meth:`cache_key`, :meth:`lookup`, :meth:`compile_traced`) so the
         keys they report agree.  A sidecar miss is memoized: steady-state
         compiles of never-stored sources pay no disk reads.
@@ -324,6 +392,20 @@ class CompilerSession:
         ):
             self._names_checked.add(digest)
             self._learn_names(digest, self.store.binding_names(digest))
+            self._learn_shapes(digest, self.store.shape_names(digest))
+
+    def _forget_if_unreferenced(self, digest: str) -> None:
+        """Drop a digest's learned names once its last artifact is gone
+        (under lock), keeping the name maps bounded -- and un-memoize the
+        sidecar check with them: a later compile of this source must be
+        allowed to re-adopt the names, else its unrefined key would miss
+        a perfectly servable disk entry."""
+        if not any(k[0] == digest for k in self._cache) and not any(
+            k[0] == digest for k in self._templates
+        ):
+            self._binding_names.pop(digest, None)
+            self._shape_names.pop(digest, None)
+            self._names_checked.discard(digest)
 
     def _insert(self, key: SessionKey, compiled: CompiledProgram) -> None:
         """Insert one frozen artifact and apply the LRU bound (under lock)."""
@@ -331,15 +413,16 @@ class CompilerSession:
         while len(self._cache) > self.max_entries:
             evicted_key, _ = self._cache.popitem(last=False)
             self.evictions += 1
-            # drop the digest's learned binding names once its last
-            # artifact is gone, so _binding_names stays bounded -- and
-            # un-memoize the sidecar check with it: a later compile of
-            # this source must be allowed to re-adopt the names, else its
-            # unrefined key would miss a perfectly servable disk entry
-            digest_gone = evicted_key[0]
-            if not any(k[0] == digest_gone for k in self._cache):
-                self._binding_names.pop(digest_gone, None)
-                self._names_checked.discard(digest_gone)
+            self._forget_if_unreferenced(evicted_key[0])
+
+    def _insert_template(self, tkey: tuple, template: "SymbolicTemplate") -> None:
+        """Insert one frozen template and apply the LRU bound (under lock)."""
+        self._templates[tkey] = template
+        self._templates.move_to_end(tkey)
+        while len(self._templates) > self.max_entries:
+            evicted_key, _ = self._templates.popitem(last=False)
+            self.evictions += 1
+            self._forget_if_unreferenced(evicted_key[0])
 
     def compile_traced(
         self,
@@ -353,12 +436,15 @@ class CompilerSession:
         """Compile through every cache tier, reporting the serving tier.
 
         Returns ``(artifact, tier)`` with ``tier`` one of ``"memory"``
-        (in-process cache hit), ``"disk"`` (served from the attached
-        :class:`~repro.store.ArtifactStore` -- no pipeline ran; the
-        artifact is re-inserted into the memory cache) or ``"compiled"``
-        (a pipeline ran; with a store attached the artifact is written
-        back for other processes).  The service layer surfaces the tier
-        as ``ServiceResult.cache_source``.
+        (in-process cache hit), ``"instantiated"`` (a cached symbolic
+        template was instantiated at this request's ``(bindings, P)`` --
+        only the cheap structural pipeline tail ran), ``"disk"`` (served
+        from the attached :class:`~repro.store.ArtifactStore` -- no
+        pipeline ran; the artifact is re-inserted into the memory cache)
+        or ``"compiled"`` (a pipeline ran; with a store attached the
+        artifact -- for symbolized sources, the shape-erased template
+        instead -- is written back for other processes).  The service
+        layer surfaces the tier as ``ServiceResult.cache_source``.
         """
         options = options or self.options
         if processors is None:
@@ -379,6 +465,10 @@ class CompilerSession:
         if cached is not None:
             # outside the lock: wrapper construction is pure
             return with_bindings(cached, bindings), "memory"
+        if options.symbolize:
+            served = self._instantiate(digest, bindings, processors, options)
+            if served is not None:
+                return served, "instantiated"
         if self.store is not None:
             # disk tier: a verified load does zero pipeline work; the
             # loaded artifact arrives frozen and joins the memory cache
@@ -398,6 +488,18 @@ class CompilerSession:
             source, bindings=bindings, processors=processors, options=options
         )
         compiled.freeze()
+        # for symbolized sources with shape-symbolic bindings, derive the
+        # shape-erased template from the pass-recorded classification --
+        # outside the lock (rectangle lifting runs probe pipelines)
+        template = None
+        sym = compiled.report.symbolic if compiled.report is not None else None
+        if options.symbolize and sym is not None and sym.classification.shape_symbolic:
+            from repro.compiler.template import build_template
+
+            template = build_template(
+                sym.program, options, sym.classification, bindings
+            )
+            template.freeze()
         with self._lock:
             if compiled.trace is not None:
                 self.passes_run += len(compiled.trace.records)
@@ -409,21 +511,81 @@ class CompilerSession:
             # the stale unrefined key would leave a dead LRU entry
             if compiled.report is not None:
                 self._learn_names(digest, compiled.report.binding_names)
+            if sym is not None:
+                self._learn_shapes(digest, sym.classification.shape_symbolic)
             key = self._key(digest, bindings, processors, options)
             self._insert(key, compiled)
+            tkey = None
+            if template is not None:
+                tkey = self._template_key(digest, bindings, options)
+                if tkey is not None:
+                    self._insert_template(tkey, template)
             names = self._binding_names.get(digest)
+            shapes = self._shape_names.get(digest)
         if self.store is not None:
             # write-back outside the lock: serialization is pure and the
-            # store's own locking covers concurrent writers
-            if self.store.store(key, compiled, binding_names=names):
+            # store's own locking covers concurrent writers.  A symbolized
+            # source writes its *template* only: one shape-erased disk
+            # entry serves every (n, P), which is the whole point
+            if tkey is not None:
+                wrote = self.store.store(
+                    tkey, template, binding_names=names, shape_names=shapes
+                )
+            else:
+                wrote = self.store.store(
+                    key, compiled, binding_names=names, shape_names=shapes
+                )
+            if wrote:
                 with self._lock:
                     self.store_writes += 1
         return compiled, "compiled"
 
+    def _instantiate(
+        self,
+        digest: str,
+        bindings: dict[str, int] | None,
+        processors: ProcessorArrangement | int | None,
+        options: CompilerOptions,
+    ) -> CompiledProgram | None:
+        """Serve one request by instantiating a symbolic template, if any.
+
+        Checks the in-memory template cache, then the store (a loaded
+        template joins the memory tier).  ``None`` -- no template known
+        for this source/options, or the request lacks a shape binding --
+        sends the caller on to the remaining tiers.  The instantiated
+        concrete artifact joins the ordinary memory cache, so repeats of
+        the same ``(n, P)`` are plain ``"memory"`` hits.
+        """
+        from repro.compiler.template import SymbolicTemplate
+
+        with self._lock:
+            tkey = self._template_key(digest, bindings, options)
+            template = self._templates.get(tkey) if tkey is not None else None
+            if template is not None:
+                self._templates.move_to_end(tkey)
+        if template is None and tkey is not None and self.store is not None:
+            loaded = self.store.load(tkey)
+            if isinstance(loaded, SymbolicTemplate):
+                template = loaded
+                with self._lock:
+                    self.store_hits += 1
+                    self._insert_template(tkey, template)
+        if template is None or template.missing_shapes(bindings):
+            return None
+        compiled = template.instantiate(bindings, processors)
+        compiled.freeze()
+        with self._lock:
+            self.instantiations += 1
+            key = self._key(digest, bindings, processors, options)
+            self._insert(key, compiled)
+        return with_bindings(compiled, bindings)
+
     def cache_clear(self) -> None:
         with self._lock:
             self._cache.clear()
+            self._templates.clear()
             self._binding_names.clear()
+            self._shape_names.clear()
             self._names_checked.clear()
 
     @property
@@ -447,6 +609,10 @@ class CompilerSession:
                 # them) and artifacts written back for other processes
                 "store_hits": self.store_hits,
                 "store_writes": self.store_writes,
+                # misses served by instantiating a symbolic template
+                # (subset of "misses"; only the structural tail ran)
+                "instantiations": self.instantiations,
+                "templates": len(self._templates),
             }
 
     # -- execution ---------------------------------------------------------

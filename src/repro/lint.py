@@ -64,6 +64,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help='symbol bindings for FILE sources, e.g. \'{"n": 16}\'',
     )
     parser.add_argument(
+        "--workload-bindings",
+        default=None,
+        metavar="JSON",
+        help=(
+            "list of binding dicts the source serves, e.g. "
+            '\'[{"n": 16}, {"n": 16}]\'; enables the RPR006 '
+            "constant-shape-symbol rule"
+        ),
+    )
+    parser.add_argument(
         "--processors", type=int, default=4, metavar="P", help="SPMD processor count"
     )
     parser.add_argument(
@@ -148,6 +158,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro.lint: bad baseline {args.baseline}: {e}", file=sys.stderr)
             return 2
 
+    workload = None
+    if args.workload_bindings:
+        try:
+            workload = [
+                {str(k): int(v) for k, v in w.items()}
+                for w in json.loads(args.workload_bindings)
+            ]
+        except (ValueError, AttributeError) as e:
+            print(f"repro.lint: bad --workload-bindings: {e}", file=sys.stderr)
+            return 2
+
     report: list[dict] = []
     unexpected = 0
     for label, source, bindings in jobs:
@@ -157,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                 bindings=bindings,
                 processors=args.processors,
                 max_scenarios=args.max_scenarios,
+                workload=workload,
             )
         except ReproError as e:
             print(f"repro.lint: {label}: compile failed: {e}", file=sys.stderr)

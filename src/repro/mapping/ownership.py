@@ -48,6 +48,22 @@ def affine_preimage(cells: IntervalSet, stride: int, offset: int, extent: int) -
     return IntervalSet.from_indices(idx)
 
 
+def dim_owned(m, coord: int) -> IntervalSet:
+    """Owned array indices of one dimension for grid coordinate ``coord``.
+
+    The per-dimension primitive both :class:`Layout` and the symbolic
+    subsystem build on: the template cells of ``coord`` under the
+    dimension's block-cyclic format, pulled back through the alignment's
+    affine map.  :mod:`repro.symbolic.ownership` expresses the same set
+    as a closed form over symbolic extents (`dim_region`), and the
+    template verifier cross-checks the two.
+    """
+    if m.proc_dim is None:
+        return IntervalSet.range(0, m.extent)
+    cells = owned_cells(m.kind, m.block, coord, m.nprocs, m.template_extent)
+    return affine_preimage(cells, m.stride, m.offset, m.extent)
+
+
 class Layout:
     """Ownership oracle for one mapping.
 
@@ -130,16 +146,10 @@ class Layout:
 
     @lru_cache(maxsize=4096)
     def _owned_cached(self, coords: tuple[int, ...]) -> tuple[IntervalSet, ...]:
-        out: list[IntervalSet] = []
-        for m in self.mapping.dim_maps:
-            if m.proc_dim is None:
-                out.append(IntervalSet.range(0, m.extent))
-                continue
-            cells = owned_cells(
-                m.kind, m.block, coords[m.proc_dim], m.nprocs, m.template_extent
-            )
-            out.append(affine_preimage(cells, m.stride, m.offset, m.extent))
-        return tuple(out)
+        return tuple(
+            dim_owned(m, coords[m.proc_dim] if m.proc_dim is not None else 0)
+            for m in self.mapping.dim_maps
+        )
 
     def local_shape(self, coords: tuple[int, ...]) -> tuple[int, ...]:
         owned = self.owned(coords)

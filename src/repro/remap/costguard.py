@@ -270,3 +270,103 @@ class _Pricing:
     scenarios: list[Scenario]
     estimates: list[TrafficEstimate]
     total: TrafficEstimate
+
+
+class ShapeGenericGuard:
+    """Cost guard for shape-erased compilations: a probe-grid conjunction.
+
+    A symbolic template's motion decisions are baked into the artifact and
+    replayed at *every* shape the template is later instantiated with, so
+    they must not depend on the shape bindings (or processor count) of the
+    request that happened to trigger the compile -- otherwise two requests
+    with the same shape-erased key would produce different templates.  This
+    guard therefore prices every candidate sink on a **fixed probe grid**
+    (:data:`PROBE_SHAPES` x :data:`PROBE_PROCS`), overriding each
+    shape-symbolic binding with the probe shape and the processor
+    arrangement with a probe-sized linear grid, and accepts only when
+    **every** probe's :class:`CostGuard` accepts.
+
+    Conservative by construction: the probes sample the shape space, but
+    each inner guard already prices the whole runtime-unknown scenario
+    space (including zero/one/many symbolic trip counts), and a rejection
+    at any probe keeps the naive placement -- the same "never lose"
+    posture as the concrete guard, quantified over shapes.
+
+    ``bindings`` must contain only compile-time names (the caller filters
+    runtime-only bindings out): compile-relevant values are part of the
+    template key and may steer decisions; anything else would leak
+    request-specific state into a shared artifact.
+    """
+
+    #: fixed shape values each shape-symbolic binding is probed at
+    PROBE_SHAPES: tuple[int, ...] = (8, 16)
+    #: fixed linear processor counts probed (the default-grid slot only;
+    #: a declared ``processors`` arrangement overrides it as usual)
+    PROBE_PROCS: tuple[int, ...] = (2, 4)
+
+    def __init__(
+        self,
+        shape_names: frozenset[str],
+        bindings: dict[str, int] | None = None,
+        flags: GuardFlags | None = None,
+        cost: CostModel | None = None,
+        max_scenarios: int = 96,
+        itemsize: int = 8,
+        schedule: str | None = None,
+    ):
+        self.shape_names = frozenset(shape_names)
+        base = {
+            k: v for k, v in dict(bindings or {}).items() if k not in shape_names
+        }
+        self._probes: list[tuple[tuple[int, int], CostGuard]] = []
+        for n in self.PROBE_SHAPES:
+            probe_bindings = dict(base)
+            for name in self.shape_names:
+                probe_bindings[name] = n
+            for p in self.PROBE_PROCS:
+                self._probes.append(
+                    (
+                        (n, p),
+                        CostGuard(
+                            bindings=probe_bindings,
+                            processors=ProcessorArrangement("P", (p,)),
+                            flags=flags,
+                            cost=cost,
+                            max_scenarios=max_scenarios,
+                            itemsize=itemsize,
+                            schedule=schedule,
+                        ),
+                    )
+                )
+
+    def evaluate(
+        self,
+        program: Program,
+        base_sub: Subroutine,
+        candidate_sub: Subroutine,
+        description: str = "",
+    ) -> GuardDecision:
+        """Accept iff every probe accepts; first probe rejection wins."""
+        bytes_total = 0
+        time_total = 0.0
+        scenario_total = 0
+        for (n, p), guard in self._probes:
+            decision = guard.evaluate(program, base_sub, candidate_sub, description)
+            if not decision.hoist:
+                return GuardDecision(
+                    False,
+                    decision.delta_bytes,
+                    decision.delta_time,
+                    decision.scenarios,
+                    f"shape probe (n={n}, P={p}): {decision.reason}",
+                )
+            bytes_total += decision.delta_bytes
+            time_total += decision.delta_time
+            scenario_total += decision.scenarios
+        return GuardDecision(
+            True,
+            bytes_total,
+            time_total,
+            scenario_total,
+            f"accepted by all {len(self._probes)} shape probes",
+        )

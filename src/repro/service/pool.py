@@ -164,8 +164,8 @@ class SessionPool:
     ) -> tuple[CompiledProgram, str]:
         """:meth:`compile` reporting the serving tier.
 
-        The tier -- ``"memory"`` / ``"disk"`` / ``"compiled"`` -- comes
-        straight from the responsible shard
+        The tier -- ``"memory"`` / ``"instantiated"`` / ``"disk"`` /
+        ``"compiled"`` -- comes straight from the responsible shard
         (:meth:`~repro.compiler.session.CompilerSession.compile_traced`);
         the service layer records it as ``ServiceResult.cache_source``.
         """
@@ -207,4 +207,7 @@ class SessionPool:
             # per-shard session counters, not store-object counters)
             "store_hits": sum(int(s["store_hits"]) for s in per_shard),
             "store_writes": sum(int(s["store_writes"]) for s in per_shard),
+            # template tier: misses served by instantiating a symbolic
+            # template instead of running the full pipeline
+            "instantiations": sum(int(s["instantiations"]) for s in per_shard),
         }

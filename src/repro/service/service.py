@@ -94,11 +94,13 @@ class ServiceResult:
     """Per-request outcome: the execution result or the contained error.
 
     ``cache_source`` is the artifact's provenance: ``"memory"`` (shard
-    cache hit), ``"disk"`` (served from the pool's persistent
+    cache hit), ``"instantiated"`` (a shard's symbolic template was
+    instantiated at this request's shape -- no pipeline front end ran),
+    ``"disk"`` (served from the pool's persistent
     :class:`~repro.store.ArtifactStore` -- no pipeline ran) or
     ``"compiled"`` (a pipeline ran for this artifact); ``None`` until an
-    artifact was obtained.  ``cached`` is the derived boolean (memory or
-    disk); ``deduped`` says this request waited on another request's
+    artifact was obtained.  ``cached`` is the derived boolean (memory,
+    instantiated or disk); ``deduped`` says this request waited on another request's
     in-flight compile (a single-flight save -- the provenance is then the
     leader's).  Workers never leak exceptions: a failed request resolves
     with ``error`` set and ``result=None``.
@@ -121,11 +123,12 @@ class ServiceResult:
 
     @property
     def cached(self) -> bool:
-        """True when the artifact came from a cache tier (memory or disk).
+        """True when the artifact came from a cache tier (memory, a
+        symbolic-template instantiation, or disk).
 
         Derived from :attr:`cache_source` so the two can never diverge.
         """
-        return self.cache_source in ("memory", "disk")
+        return self.cache_source in ("memory", "instantiated", "disk")
 
     def value(self, name: str) -> np.ndarray:
         """The named array's final global values (raises on failed requests)."""
@@ -147,7 +150,8 @@ class ServiceStats:
 
     Accounting invariant: every completed request that *obtained an
     artifact* is exactly one of ``compile_hits`` (shard memory hit) /
-    ``store_hits`` (served from the persistent disk store) /
+    ``instantiations`` (a symbolic template instantiated at the request's
+    shape) / ``store_hits`` (served from the persistent disk store) /
     ``compile_misses`` (a pipeline ran) / ``dedup_saves``; requests that
     failed before obtaining one count only in ``errors`` (the shard
     sessions still record their miss, so pool statistics additionally see
@@ -163,6 +167,7 @@ class ServiceStats:
         self.compile_hits = 0
         self.compile_misses = 0
         self.store_hits = 0
+        self.instantiations = 0
         self.dedup_saves = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
@@ -204,6 +209,8 @@ class ServiceStats:
             if res.compiled is not None and not res.deduped:
                 if res.cache_source == "memory":
                     self.compile_hits += 1
+                elif res.cache_source == "instantiated":
+                    self.instantiations += 1
                 elif res.cache_source == "disk":
                     self.store_hits += 1
                 else:
@@ -238,6 +245,7 @@ class ServiceStats:
                 "compile_hits": self.compile_hits,
                 "compile_misses": self.compile_misses,
                 "store_hits": self.store_hits,
+                "instantiations": self.instantiations,
                 "dedup_saves": self.dedup_saves,
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
@@ -342,7 +350,8 @@ class CompileService:
         """Compile with single-flight dedup; returns (artifact, tier, deduped).
 
         The tier is the artifact's cache provenance -- ``"memory"`` /
-        ``"disk"`` / ``"compiled"`` (see ``ServiceResult.cache_source``).
+        ``"instantiated"`` / ``"disk"`` / ``"compiled"`` (see
+        ``ServiceResult.cache_source``).
         Warm requests are answered by a shard-cache peek and never touch
         the service-global in-flight table (the pool's sharded locks are
         the only contention).  Concurrent calls that *miss* on the same

@@ -47,6 +47,8 @@ with zero scheduling work.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ArtifactFrozenError, ScheduleError
@@ -482,3 +484,126 @@ class CommPlanTable:
                 "(source, target) signature pair"
             )
         self._plans[key] = plan
+
+
+# ---------------------------------------------------------------------------
+# lazy plan tables for symbolic templates
+# ---------------------------------------------------------------------------
+
+
+class PlanMemo:
+    """Bounded, thread-safe memo of certified plans, shared across every
+    concrete instantiation of one symbolic template.
+
+    Keys are ``(policy, src signature, dst signature)`` -- signatures
+    embed concrete extents and grid shapes, so plans for distinct
+    ``(n, P)`` instantiations can never cross-serve.  Capacity is a hard
+    bound: least-recently-used entries are evicted and transparently
+    rebuilt on the next request (plans are pure functions of the mapping
+    pair, so a rebuild is bit-identical to the evicted plan).
+
+    Builds happen outside the lock; a lost insertion race returns the
+    winner's plan.  Pickling (a template heading to the artifact store)
+    drops both the lock and the contents, so artifact bytes never depend
+    on which shapes a session happened to serve first.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ScheduleError(f"PlanMemo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: "OrderedDict[tuple, CommSchedule]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get_or_build(self, policy: str, src: Mapping, dst: Mapping) -> CommSchedule:
+        key = (policy, src.signature, dst.signature)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan
+        # Build (and certify) outside the lock: scheduling is the expensive
+        # part and depends only on the two mappings.
+        from repro.analysis.commsafety import certify_plan
+
+        built = certify_plan(src, dst, plan_redistribution(src, dst, policy))
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return existing
+            self._plans[key] = built
+            self.misses += 1
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return built
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __getstate__(self) -> dict:
+        return {"capacity": self.capacity}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["capacity"])
+
+
+@dataclass
+class InstantiatingCommPlanTable(CommPlanTable):
+    """Plan table of one symbolic-template instantiation: lazy within a
+    declared pair set, eager nowhere.
+
+    Where the eager ``schedule`` pass prebuilds every reachable plan into
+    the artifact, an instantiated program carries only the *keys* of its
+    reachable (source, target) signature pairs; :meth:`lookup` builds the
+    plan on first use through a :class:`PlanMemo` shared with every other
+    instantiation of the same template, so repeated shapes pay the
+    scheduling cost once per memo lifetime.
+
+    Deliberate deviation from the base frozen contract: :meth:`lookup`
+    get-or-builds through the memo even on a frozen table.  The memo has
+    its own lock and plans are pure functions of the signature pair, so
+    concurrent executors converge on identical plans; :meth:`build` and
+    :meth:`replace` keep the base class's frozen-artifact refusal.
+    """
+
+    _pair_keys: frozenset = field(default_factory=frozenset)
+    _memo: PlanMemo = field(default_factory=PlanMemo, repr=False, compare=False)
+
+    def __bool__(self) -> bool:
+        # The base table is truthy iff it holds plans (len); a lazy table
+        # holds *pair keys* instead and must stay truthy for the
+        # executor's "is there an artifact plan table?" check even though
+        # no plan has materialized yet.
+        return bool(self._pair_keys or self._plans)
+
+    def lookup(self, src: Mapping, dst: Mapping) -> CommSchedule | None:
+        key = self._key(src, dst)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        if key not in self._pair_keys:
+            return None
+        return self._memo.get_or_build(self.policy, src, dst)
+
+    @property
+    def pair_count(self) -> int:
+        """Declared reachable pairs (eager tables would hold this many plans)."""
+        return len(self._pair_keys)

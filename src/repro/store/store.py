@@ -56,6 +56,7 @@ from repro.errors import ArtifactStoreError
 
 if TYPE_CHECKING:
     from repro.compiler.artifacts import CompiledProgram
+    from repro.compiler.template import SymbolicTemplate
 
 try:  # POSIX advisory locks; degrade to lock-free on platforms without them
     import fcntl
@@ -216,6 +217,11 @@ class ArtifactStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # per-kind splits of hits/stores: concrete CompiledProgram entries
+        # vs shape-erased SymbolicTemplate entries (PR 7) -- the CLI's
+        # shape-reuse ratio is derived from these
+        self.hits_by_kind = {"concrete": 0, "template": 0}
+        self.stores_by_kind = {"concrete": 0, "template": 0}
         self.store_errors = 0
         self.corrupt_evicted = 0
         self.semantic_evicted = 0
@@ -254,25 +260,40 @@ class ArtifactStore:
 
     # -- store / load ------------------------------------------------------
 
+    @staticmethod
+    def _artifact_kind(artifact: object) -> str:
+        from repro.compiler.template import SymbolicTemplate
+
+        return "template" if isinstance(artifact, SymbolicTemplate) else "concrete"
+
     def store(
         self,
         key: object,
-        artifact: "CompiledProgram",
+        artifact: "CompiledProgram | SymbolicTemplate",
         binding_names: frozenset[str] | None = None,
+        shape_names: frozenset[str] | None = None,
     ) -> bool:
         """Serialize one artifact under ``key``; returns success.
 
-        The write is crash-safe and race-safe: payload and header go to a
+        The artifact may be a concrete
+        :class:`~repro.compiler.artifacts.CompiledProgram` or a
+        shape-erased :class:`~repro.compiler.template.SymbolicTemplate`;
+        the entry header records which (``kind``).  The write is
+        crash-safe and race-safe: payload and header go to a
         process-unique temp file (fsynced), then one atomic ``os.replace``
         publishes the entry.  ``binding_names`` -- the compile-relevant
         binding names the session learned for the artifact's source -- is
         persisted in a per-source sidecar so a *fresh process* can refine
         its cache key the same way the writing process did (without it,
         runtime-only bindings would make cross-process lookups miss).
-        I/O failures are contained: a ``False`` return means the caller
-        simply keeps its in-memory artifact.
+        ``shape_names`` -- the shape-symbolic subset -- rides in the same
+        sidecar so a fresh process can also compute the *shape-erased*
+        template key on first contact with a source.  I/O failures are
+        contained: a ``False`` return means the caller simply keeps its
+        in-memory artifact.
         """
         path = self.entry_path(key)
+        kind = self._artifact_kind(artifact)
         try:
             payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
@@ -286,6 +307,7 @@ class ArtifactStore:
                     "fingerprint": self.fingerprint,
                     "sha256": hashlib.sha256(payload).hexdigest(),
                     "payload_bytes": len(payload),
+                    "kind": kind,
                     # the source digest (first key element) lets gc tell
                     # which binding-names sidecars still have live entries
                     "source": str(key[0]) if isinstance(key, tuple) and key else None,
@@ -312,13 +334,14 @@ class ArtifactStore:
             return False
         if binding_names is not None and isinstance(key, tuple) and key:
             with contextlib.suppress(OSError):
-                self._store_names(str(key[0]), binding_names)
+                self._store_names(str(key[0]), binding_names, shape_names)
         with self._lock:
             self.stores += 1
+            self.stores_by_kind[kind] += 1
         self._enforce_budget(len(header) + len(payload))
         return True
 
-    def load(self, key: object) -> "CompiledProgram | None":
+    def load(self, key: object) -> "CompiledProgram | SymbolicTemplate | None":
         """The verified artifact for ``key``, or ``None`` (never raises).
 
         The stored digest is re-checked against the payload before
@@ -357,18 +380,29 @@ class ArtifactStore:
             os.utime(path)
         with self._lock:
             self.hits += 1
+            self.hits_by_kind[self._artifact_kind(artifact)] += 1
         artifact.freeze()  # idempotent; pickling preserves frozen state
         return artifact
 
-    @staticmethod
-    def _invariant_issues(artifact: "CompiledProgram") -> list:
+    @classmethod
+    def _invariant_issues(cls, artifact: "CompiledProgram | SymbolicTemplate") -> list:
         """Deep semantic verification; a non-empty list disqualifies.
 
-        Never raises: a checker crash on a mangled object graph counts as
-        one issue (the load path must degrade, not propagate)."""
-        from repro.analysis.verify import VerificationIssue, verify_artifact
+        Dispatches on artifact kind: concrete programs get the full
+        static checker, symbolic templates get the structural checks plus
+        a verified probe instantiation (:func:`repro.analysis.verify.
+        verify_template`).  Never raises: a checker crash on a mangled
+        object graph counts as one issue (the load path must degrade,
+        not propagate)."""
+        from repro.analysis.verify import (
+            VerificationIssue,
+            verify_artifact,
+            verify_template,
+        )
 
         try:
+            if cls._artifact_kind(artifact) == "template":
+                return verify_template(artifact)
             return verify_artifact(artifact)
         except Exception as exc:  # pragma: no cover - defensive
             return [
@@ -377,9 +411,10 @@ class ArtifactStore:
                 )
             ]
 
-    def _decode(self, blob: bytes) -> "CompiledProgram | None":
+    def _decode(self, blob: bytes) -> "CompiledProgram | SymbolicTemplate | None":
         """Header-check, digest-check and unpickle; ``None`` on any defect."""
         from repro.compiler.artifacts import CompiledProgram
+        from repro.compiler.template import SymbolicTemplate
 
         newline = blob.find(b"\n")
         if newline < 0:
@@ -403,7 +438,7 @@ class ArtifactStore:
             artifact = pickle.loads(payload)
         except Exception:
             return None
-        if not isinstance(artifact, CompiledProgram):
+        if not isinstance(artifact, (CompiledProgram, SymbolicTemplate)):
             return None
         return artifact
 
@@ -418,14 +453,54 @@ class ArtifactStore:
 
     # -- binding-name sidecars ---------------------------------------------
 
-    def _store_names(self, source_digest: str, names: frozenset[str]) -> None:
+    def _store_names(
+        self,
+        source_digest: str,
+        names: frozenset[str],
+        shapes: frozenset[str] | None = None,
+    ) -> None:
         path = self._names_path(source_digest)
-        if path.exists():  # first writer wins; names are per-source stable
-            return
+        if path.exists():
+            # First writer wins -- names are per-source stable -- EXCEPT
+            # when the existing sidecar predates shape classification and
+            # this writer carries it.  Without the upgrade, a fresh
+            # process adopting a pre-symbolize sidecar could never compute
+            # the shape-erased template key for a source it has not
+            # compiled itself, so cross-process template hits would
+            # silently degrade to cold compiles.
+            if shapes is None:
+                return
+            try:
+                existing = json.loads(path.read_text())
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict) and "shape_symbolic" in existing:
+                return
+        payload: dict[str, list[str]] = {"binding_names": sorted(names)}
+        if shapes is not None:
+            payload["shape_symbolic"] = sorted(shapes)
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
         with open(tmp, "w") as fh:
-            json.dump(sorted(names), fh)
+            json.dump(payload, fh)
         os.replace(tmp, path)
+
+    def _read_names(self, source_digest: str) -> dict | None:
+        """The decoded sidecar as a dict, upgrading the legacy bare-list
+        format (pre-PR 7 writers) to ``{"binding_names": [...]}``."""
+        try:
+            data = json.loads(self._names_path(source_digest).read_text())
+        except (OSError, ValueError):
+            return None
+        if isinstance(data, list):  # legacy format: a bare name list
+            data = {"binding_names": data}
+        if not isinstance(data, dict):
+            return None
+        names = data.get("binding_names")
+        if not isinstance(names, list) or not all(
+            isinstance(n, str) for n in names
+        ):
+            return None
+        return data
 
     def binding_names(self, source_digest: str) -> frozenset[str] | None:
         """The compile-relevant binding names recorded for a source.
@@ -434,13 +509,28 @@ class ArtifactStore:
         unreadable) -- callers fall back to the unrefined key, exactly as
         a session that has not compiled the source yet would.
         """
-        try:
-            data = json.loads(self._names_path(source_digest).read_text())
-        except (OSError, ValueError):
+        data = self._read_names(source_digest)
+        if data is None:
             return None
-        if not isinstance(data, list) or not all(isinstance(n, str) for n in data):
+        return frozenset(data["binding_names"])
+
+    def shape_names(self, source_digest: str) -> frozenset[str] | None:
+        """The shape-symbolic binding names recorded for a source.
+
+        ``None`` means the sidecar is absent, unreadable or predates
+        shape classification -- callers must not guess: without the
+        recorded split they cannot compute the shape-erased template key
+        and fall back to concrete lookups.
+        """
+        data = self._read_names(source_digest)
+        if data is None:
             return None
-        return frozenset(data)
+        shapes = data.get("shape_symbolic")
+        if not isinstance(shapes, list) or not all(
+            isinstance(n, str) for n in shapes
+        ):
+            return None
+        return frozenset(shapes)
 
     # -- maintenance -------------------------------------------------------
 
@@ -647,22 +737,60 @@ class ArtifactStore:
                 total += e.stat().st_size
         return total
 
+    def entries_by_kind(self) -> dict[str, int]:
+        """On-disk entry counts per artifact kind (header line only).
+
+        Entries written before kind headers existed count as concrete --
+        that is what every pre-PR 7 entry is.
+        """
+        counts = {"concrete": 0, "template": 0}
+        for e in self._entries():
+            kind = "concrete"
+            try:
+                with open(e.path, "rb") as fh:
+                    header = json.loads(fh.readline())
+                if isinstance(header, dict) and header.get("kind") == "template":
+                    kind = "template"
+            except (OSError, ValueError, UnicodeDecodeError):
+                pass
+            counts[kind] += 1
+        return counts
+
     @property
     def stats(self) -> dict[str, object]:
-        """In-process counters plus the current on-disk footprint."""
+        """In-process counters plus the current on-disk footprint.
+
+        ``shape_reuse_ratio`` is the fraction of verified loads served by
+        a shape-erased symbolic template rather than a concrete artifact:
+        every template hit stands in for what would otherwise be one disk
+        entry (and one cold compile) *per distinct shape*, so a high
+        ratio means shape-diverse traffic is collapsing as intended.
+        """
         with self._lock:
+            hits_by_kind = dict(self.hits_by_kind)
             counters = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
+                "hits_concrete": hits_by_kind["concrete"],
+                "hits_template": hits_by_kind["template"],
+                "stores_concrete": self.stores_by_kind["concrete"],
+                "stores_template": self.stores_by_kind["template"],
                 "store_errors": self.store_errors,
                 "corrupt_evicted": self.corrupt_evicted,
                 "semantic_evicted": self.semantic_evicted,
                 "lru_evicted": self.lru_evicted,
             }
+        kind_hits = hits_by_kind["concrete"] + hits_by_kind["template"]
+        counters["shape_reuse_ratio"] = (
+            hits_by_kind["template"] / kind_hits if kind_hits else 0.0
+        )
+        by_kind = self.entries_by_kind()
         counters.update(
             {
                 "entries": self.entry_count,
+                "entries_concrete": by_kind["concrete"],
+                "entries_template": by_kind["template"],
                 "total_bytes": self.total_bytes,
                 "max_bytes": self.max_bytes,
                 "fingerprint": self.fingerprint,

@@ -1,0 +1,274 @@
+"""Exact integer expression algebra over symbolic extents.
+
+Expressions are immutable trees closed under addition, integer scaling,
+ceiling division and min/max -- exactly the operators block-cyclic
+ownership math produces: the default ``BLOCK`` chunk is ``ceil(n/P)``,
+the last chunk is clamped by ``min((p+1)*b, n)``.  Semantics are exact
+integer arithmetic (no floats); :meth:`SymExpr.evaluate` takes an
+environment mapping symbol names to ints and raises
+:class:`~repro.errors.SymbolicBindingError` on a missing symbol or a
+non-positive divisor.
+
+The module-level builders (:func:`add`, :func:`mul`, :func:`ceil_div`,
+:func:`smin`, :func:`smax`) constant-fold and normalize so that
+structurally equal formulas compare equal -- templates key their
+parameterized rectangle sets on these trees.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import SymbolicBindingError
+
+__all__ = [
+    "SymExpr",
+    "Const",
+    "Sym",
+    "Add",
+    "Mul",
+    "CeilDiv",
+    "Min",
+    "Max",
+    "as_expr",
+    "add",
+    "mul",
+    "ceil_div",
+    "smin",
+    "smax",
+]
+
+
+class SymExpr:
+    """Base class of symbolic integer expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # convenience operators (constant-folding builders)
+    def __add__(self, other: "SymExpr | int | str") -> "SymExpr":
+        return add(self, other)
+
+    def __radd__(self, other: "SymExpr | int | str") -> "SymExpr":
+        return add(other, self)
+
+    def __sub__(self, other: "SymExpr | int | str") -> "SymExpr":
+        return add(self, mul(-1, other))
+
+    def __rsub__(self, other: "SymExpr | int | str") -> "SymExpr":
+        return add(other, mul(-1, self))
+
+    def __mul__(self, k: int) -> "SymExpr":
+        return mul(k, self)
+
+    __rmul__ = __mul__
+
+
+@dataclass(frozen=True)
+class Const(SymExpr):
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym(SymExpr):
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return int(env[self.name])
+        except KeyError:
+            raise SymbolicBindingError(
+                f"no binding for size symbol {self.name!r}"
+            ) from None
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Add(SymExpr):
+    terms: tuple[SymExpr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return sum(t.evaluate(env) for t in self.terms)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for t in self.terms:
+            out |= t.symbols
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " + ".join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Mul(SymExpr):
+    k: int
+    e: SymExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.k * self.e.evaluate(env)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.e.symbols
+
+    def __str__(self) -> str:
+        return f"{self.k}*{self.e}"
+
+
+@dataclass(frozen=True)
+class CeilDiv(SymExpr):
+    num: SymExpr
+    den: SymExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        d = self.den.evaluate(env)
+        if d <= 0:
+            raise SymbolicBindingError(
+                f"ceil division by non-positive {d} in {self}"
+            )
+        return -(-self.num.evaluate(env) // d)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.num.symbols | self.den.symbols
+
+    def __str__(self) -> str:
+        return f"ceil({self.num}/{self.den})"
+
+
+@dataclass(frozen=True)
+class Min(SymExpr):
+    a: SymExpr
+    b: SymExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return min(self.a.evaluate(env), self.b.evaluate(env))
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.a.symbols | self.b.symbols
+
+    def __str__(self) -> str:
+        return f"min({self.a}, {self.b})"
+
+
+@dataclass(frozen=True)
+class Max(SymExpr):
+    a: SymExpr
+    b: SymExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(self.a.evaluate(env), self.b.evaluate(env))
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.a.symbols | self.b.symbols
+
+    def __str__(self) -> str:
+        return f"max({self.a}, {self.b})"
+
+
+# ---------------------------------------------------------------------------
+# normalizing builders
+# ---------------------------------------------------------------------------
+
+
+def as_expr(x: "SymExpr | int | str") -> SymExpr:
+    """Lift an int to :class:`Const`, a name to :class:`Sym`."""
+    if isinstance(x, SymExpr):
+        return x
+    if isinstance(x, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError(f"cannot lift {x!r} to a symbolic expression")
+    if isinstance(x, int):
+        return Const(x)
+    if isinstance(x, str):
+        return Sym(x)
+    raise TypeError(f"cannot lift {x!r} to a symbolic expression")
+
+
+def add(*xs: "SymExpr | int | str") -> SymExpr:
+    """Sum with constant folding, flattening and zero elimination."""
+    const = 0
+    terms: list[SymExpr] = []
+    for x in xs:
+        e = as_expr(x)
+        parts = e.terms if isinstance(e, Add) else (e,)
+        for p in parts:
+            if isinstance(p, Const):
+                const += p.value
+            else:
+                terms.append(p)
+    if const != 0 or not terms:
+        terms.append(Const(const))
+    return terms[0] if len(terms) == 1 else Add(tuple(terms))
+
+
+def mul(k: int, x: "SymExpr | int | str") -> SymExpr:
+    """Scalar multiple with folding (``0*e -> 0``, nested ``Mul`` collapse)."""
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise TypeError(f"scalar multiplier must be an int, got {k!r}")
+    e = as_expr(x)
+    if k == 0:
+        return Const(0)
+    if k == 1:
+        return e
+    if isinstance(e, Const):
+        return Const(k * e.value)
+    if isinstance(e, Mul):
+        return mul(k * e.k, e.e)
+    if isinstance(e, Add):
+        return add(*(mul(k, t) for t in e.terms))
+    return Mul(k, e)
+
+
+def ceil_div(num: "SymExpr | int | str", den: "SymExpr | int | str") -> SymExpr:
+    num_e, den_e = as_expr(num), as_expr(den)
+    if isinstance(den_e, Const):
+        if den_e.value == 1:
+            return num_e
+        if isinstance(num_e, Const) and den_e.value > 0:
+            return Const(-(-num_e.value // den_e.value))
+    return CeilDiv(num_e, den_e)
+
+
+def smin(a: "SymExpr | int | str", b: "SymExpr | int | str") -> SymExpr:
+    ae, be = as_expr(a), as_expr(b)
+    if ae == be:
+        return ae
+    if isinstance(ae, Const) and isinstance(be, Const):
+        return Const(min(ae.value, be.value))
+    return Min(ae, be)
+
+
+def smax(a: "SymExpr | int | str", b: "SymExpr | int | str") -> SymExpr:
+    ae, be = as_expr(a), as_expr(b)
+    if ae == be:
+        return ae
+    if isinstance(ae, Const) and isinstance(be, Const):
+        return Const(max(ae.value, be.value))
+    return Max(ae, be)

@@ -1,0 +1,257 @@
+"""Symbolic closed forms of per-processor ownership regions.
+
+The concrete ownership layer (:mod:`repro.mapping.ownership`) computes,
+for one grid coordinate, the exact owned index set of each array
+dimension: the block-cyclic cells of the template dimension
+(:func:`repro.mapping.distribute.owned_cells`) pulled back through the
+alignment's affine map.  This module expresses the same sets as *closed
+forms over symbolic extents* -- :class:`SymRegion` trees whose leaves
+are :mod:`repro.symbolic.affine` expressions -- so a
+:class:`~repro.compiler.template.SymbolicTemplate` can carry one
+parameterized rectangle set instead of one concrete set per (n, P).
+
+``instantiate`` is the ground truth bridge: evaluating a region under a
+binding environment must reproduce the concrete layer bit-for-bit
+(property-tested in ``tests/test_symbolic.py``), and the artifact
+verifier cross-checks instantiated layouts against these forms.
+
+Coverage is deliberately partial: BLOCK under any unit-stride alignment
+and CYCLIC under non-reversed unit-stride alignments have closed forms;
+general strides (|stride| > 1) and reversed CYCLIC do not, and
+:func:`dim_region` returns ``None`` for them (templates simply skip the
+closed-form cross-check for such dimensions -- instantiation itself
+always goes through the exact concrete layer).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.mapping.distribute import DistKind
+from repro.symbolic.affine import Const, Sym, SymExpr, add, as_expr, mul, smax, smin
+from repro.util.intervals import IntervalSet
+
+__all__ = [
+    "PROC_COORD_PREFIX",
+    "proc_coord",
+    "SymInterval",
+    "SymRegion",
+    "SymIntervals",
+    "SymStridedRuns",
+    "local_region",
+    "owned_cells_region",
+    "dim_region",
+]
+
+#: Reserved symbol-name prefix for processor-grid coordinates; ``$`` is not
+#: a legal identifier character in the source language, so these can never
+#: collide with declared size symbols.
+PROC_COORD_PREFIX = "$p"
+
+
+def proc_coord(proc_dim: int) -> Sym:
+    """The reserved symbol for a processor's coordinate along grid dim ``proc_dim``."""
+    return Sym(f"{PROC_COORD_PREFIX}{proc_dim}")
+
+
+@dataclass(frozen=True)
+class SymInterval:
+    """Half-open symbolic interval ``[lo, hi)``."""
+
+    lo: SymExpr
+    hi: SymExpr
+
+    def instantiate(self, env: Mapping[str, int]) -> tuple[int, int]:
+        return (self.lo.evaluate(env), self.hi.evaluate(env))
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.lo.symbols | self.hi.symbols
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+class SymRegion:
+    """Base class of symbolic index-set descriptions of one dimension."""
+
+    __slots__ = ()
+
+    def instantiate(self, env: Mapping[str, int]) -> IntervalSet:
+        raise NotImplementedError
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SymIntervals(SymRegion):
+    """A union of symbolic intervals (empty ones vanish on instantiation)."""
+
+    intervals: tuple[SymInterval, ...]
+
+    def instantiate(self, env: Mapping[str, int]) -> IntervalSet:
+        return IntervalSet(iv.instantiate(env) for iv in self.intervals)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for iv in self.intervals:
+            out |= iv.symbols
+        return out
+
+    def __str__(self) -> str:
+        return " u ".join(str(iv) for iv in self.intervals) or "{}"
+
+
+@dataclass(frozen=True)
+class SymStridedRuns(SymRegion):
+    """Runs of ``run`` cells every ``period``, clipped to ``[lo, hi)``.
+
+    The symbolic mirror of :meth:`IntervalSet.strided_runs` -- one
+    processor's cells under ``CYCLIC(b)`` (``run = b``, ``period = P*b``).
+    """
+
+    start: SymExpr
+    run: SymExpr
+    period: SymExpr
+    lo: SymExpr
+    hi: SymExpr
+
+    def instantiate(self, env: Mapping[str, int]) -> IntervalSet:
+        return IntervalSet.strided_runs(
+            self.start.evaluate(env),
+            self.run.evaluate(env),
+            self.period.evaluate(env),
+            self.lo.evaluate(env),
+            self.hi.evaluate(env),
+        )
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for e in (self.start, self.run, self.period, self.lo, self.hi):
+            out |= e.symbols
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"runs(start={self.start}, run={self.run}, every={self.period}) "
+            f"& [{self.lo}, {self.hi})"
+        )
+
+
+def local_region(extent: "SymExpr | int | str") -> SymIntervals:
+    """An undistributed dimension: every holder owns ``[0, extent)``."""
+    return SymIntervals((SymInterval(Const(0), as_expr(extent)),))
+
+
+def owned_cells_region(
+    kind: DistKind,
+    block: "SymExpr | int | str",
+    proc: "SymExpr | int | str",
+    nprocs: "SymExpr | int | str",
+    template_extent: "SymExpr | int | str",
+) -> SymRegion:
+    """Symbolic mirror of :func:`repro.mapping.distribute.owned_cells`."""
+    b, p, np_, t = (as_expr(x) for x in (block, proc, nprocs, template_extent))
+    if kind is DistKind.STAR:
+        return SymIntervals((SymInterval(Const(0), t),))
+    if kind is DistKind.BLOCK:
+        lo = _mul_expr(p, b)
+        hi = smin(add(_mul_expr(p, b), b), t)
+        return SymIntervals((SymInterval(lo, hi),))
+    if kind is DistKind.CYCLIC:
+        return SymStridedRuns(
+            start=_mul_expr(p, b),
+            run=b,
+            period=_mul_expr(np_, b),
+            lo=Const(0),
+            hi=t,
+        )
+    raise ValueError(f"unknown distribution kind {kind}")
+
+
+def _mul_expr(a: SymExpr, b: SymExpr) -> SymExpr:
+    """Product of two expressions, folded when either side is constant.
+
+    Most ownership products have one concrete factor (a probe coordinate,
+    a resolved block size); when both stay symbolic -- e.g.
+    ``p * ceil(n/P)`` with a symbolic coordinate -- the product is kept
+    as a deferred :class:`_Prod` node.
+    """
+    if isinstance(a, Const):
+        return mul(a.value, b)
+    if isinstance(b, Const):
+        return mul(b.value, a)
+    return _Prod(a, b)
+
+
+@dataclass(frozen=True)
+class _Prod(SymExpr):
+    """General product -- only reachable when both factors are symbolic
+    (e.g. ``p * ceil(n/P)`` with a symbolic coordinate)."""
+
+    a: SymExpr
+    b: SymExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) * self.b.evaluate(env)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.a.symbols | self.b.symbols
+
+    def __str__(self) -> str:
+        return f"({self.a})*({self.b})"
+
+
+def dim_region(
+    kind: DistKind,
+    block: "SymExpr | int | str",
+    proc: "SymExpr | int | str",
+    nprocs: "SymExpr | int | str",
+    template_extent: "SymExpr | int | str",
+    stride: int,
+    offset: int,
+    extent: "SymExpr | int | str",
+) -> SymRegion | None:
+    """Closed form of one dimension's owned array indices, or ``None``.
+
+    Mirrors the concrete per-dimension computation
+    (:func:`repro.mapping.ownership.dim_owned`): the template cells owned
+    under ``kind``/``block`` pulled back through the alignment's affine
+    map ``i -> stride*i + offset`` and clipped to ``[0, extent)``.
+    Returns ``None`` when no closed form exists (|stride| > 1 anywhere,
+    or a reversed CYCLIC alignment).
+    """
+    b, p, np_, t, n = (
+        as_expr(x) for x in (block, proc, nprocs, template_extent, extent)
+    )
+    if kind is DistKind.STAR:
+        return SymIntervals((SymInterval(Const(0), n),))
+    if kind is DistKind.BLOCK:
+        cell_lo = _mul_expr(p, b)
+        cell_hi = smin(add(_mul_expr(p, b), b), t)
+        if stride == 1:
+            lo = smax(Const(0), add(cell_lo, -offset))
+            hi = smin(n, add(cell_hi, -offset))
+            return SymIntervals((SymInterval(lo, hi),))
+        if stride == -1:
+            lo = smax(Const(0), add(mul(-1, cell_hi), offset + 1))
+            hi = smin(n, add(mul(-1, cell_lo), offset + 1))
+            return SymIntervals((SymInterval(lo, hi),))
+        return None
+    if kind is DistKind.CYCLIC:
+        if stride != 1:
+            return None
+        return SymStridedRuns(
+            start=add(_mul_expr(p, b), -offset),
+            run=b,
+            period=_mul_expr(np_, b),
+            lo=Const(max(0, -offset)),
+            hi=smin(n, add(t, -offset)),
+        )
+    raise ValueError(f"unknown distribution kind {kind}")

@@ -323,4 +323,7 @@ def test_regression_gate_exit_codes(tmp_path):
     (tmp_path / "BENCH_service.json").write_text(
         (baselines / "BENCH_service.json").read_text()
     )
+    (tmp_path / "BENCH_symbolic.json").write_text(
+        (baselines / "BENCH_symbolic.json").read_text()
+    )
     assert _invoke([gate, "--fresh-dir", str(tmp_path)]).returncode == 1

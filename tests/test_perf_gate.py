@@ -25,6 +25,40 @@ spec.loader.exec_module(check_regression)
 
 check_schedule = check_regression.check_schedule
 check_service = check_regression.check_service
+check_symbolic = check_regression.check_symbolic
+
+
+def _symbolic(hit_rate=0.97, entries=1, speedup=36.0, inst_ms=1.0, pairs=32):
+    return {
+        "pairs": pairs,
+        "cold": {"store_hit_rate": hit_rate, "store_entries": entries},
+        "warm": {"speedup": speedup, "instantiate_ms_mean": inst_ms},
+    }
+
+
+def test_symbolic_clean_within_tolerance():
+    problems, compared = check_symbolic(_symbolic(inst_ms=1.8), _symbolic(), 2.0)
+    assert problems == [] and compared == 2
+
+
+def test_symbolic_floors_fail():
+    assert check_symbolic(_symbolic(hit_rate=0.5), _symbolic(), 2.0)[0]
+    assert check_symbolic(_symbolic(entries=32), _symbolic(), 2.0)[0]
+    assert check_symbolic(_symbolic(speedup=12.0), _symbolic(), 2.0)[0]
+
+
+def test_symbolic_latency_drift_past_bound_fails():
+    problems, _ = check_symbolic(_symbolic(inst_ms=3.0), _symbolic(inst_ms=1.0), 2.0)
+    assert any("instantiation regressed" in p for p in problems)
+
+
+def test_symbolic_different_sweeps_skip_latency_comparison():
+    # a smoke sweep at another pair count is incomparable on latency, but
+    # the absolute floors still gate (compared stays >= 1)
+    problems, compared = check_symbolic(
+        _symbolic(inst_ms=50.0, pairs=8), _symbolic(), 2.0
+    )
+    assert problems == [] and compared == 1
 
 
 def _case(naive_ms=10.0, rr_ms=5.0, agg_msgs=4, rr_msgs=8, bytes_=640):
@@ -126,6 +160,9 @@ def test_main_exit_codes(tmp_path, capsys):
         (base_dir / "BENCH_schedule.json").read_text()
     )
     (tmp_path / "BENCH_service.json").write_text(json.dumps(svc))
+    (tmp_path / "BENCH_symbolic.json").write_text(
+        (base_dir / "BENCH_symbolic.json").read_text()
+    )
     assert (
         check_regression.main(
             ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
@@ -162,5 +199,7 @@ def test_gate_passes_on_committed_baselines_shape():
     base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
     sched = json.loads((base_dir / "BENCH_schedule.json").read_text())
     svc = json.loads((base_dir / "BENCH_service.json").read_text())
+    sym = json.loads((base_dir / "BENCH_symbolic.json").read_text())
     assert check_schedule(sched, sched, 2.0)[0] == []
     assert check_service(svc, svc, 2.0)[0] == []
+    assert check_symbolic(sym, sym, 2.0)[0] == []

@@ -456,3 +456,113 @@ def test_stress_random_mix_bit_identical_to_serial(seed):
         assert pool["hits"] + pool["misses"] == len(picks) - snap["dedup_saves"]
         # every distinct program compiled at least once, and repeats hit
         assert pool["misses"] >= len(set(picks))
+
+
+# ---------------------------------------------------------------------------
+# symbolic templates under concurrency: distinct (n, P) never cross-serve
+# ---------------------------------------------------------------------------
+
+SYMBOLIC_SRC = """
+subroutine shapes(a, t)
+  integer n, t
+  real a(n)
+!hpf$ dynamic a
+!hpf$ distribute a(block)
+  compute "init" writes a
+  do i = 1, t
+!hpf$   redistribute a(cyclic)
+    compute "use" reads a writes a
+!hpf$   redistribute a(block)
+    compute "back" reads a writes a
+  enddo
+end
+"""
+
+_SYMBOLIC_PAIRS = [(8, 2), (12, 3), (16, 2), (16, 4), (24, 4), (32, 4), (40, 2), (48, 4)]
+
+
+def _symbolic_request(n: int, p: int) -> CompileRequest:
+    return CompileRequest(
+        SYMBOLIC_SRC,
+        bindings={"n": n, "t": 3},
+        processors=p,
+        inputs={"a": np.arange(n, dtype=float)},
+        check_invariants=True,
+    )
+
+
+def test_concurrent_shapes_share_one_template_and_never_cross_serve():
+    """Concurrent requests for distinct (n, P) against one shared symbolic
+    template: every result must carry its own geometry (plans from the
+    shared memo must never be served across shapes), values must match a
+    from-scratch eager compile, and after the warming compile every serve
+    must avoid the pipeline front end."""
+    opts = CompilerOptions.symbolic(level=3, schedule="round-robin")
+    with CompileService(processors=2, workers=8, shards=2, options=opts) as svc:
+        # warm: first request builds and caches the template
+        warm = svc.run_batch([_symbolic_request(*_SYMBOLIC_PAIRS[0])])
+        assert warm[0].ok and warm[0].cache_source == "compiled"
+        # storm: every other (n, P) pair, concurrently, twice each
+        pairs = _SYMBOLIC_PAIRS[1:] * 2
+        results = svc.run_batch([_symbolic_request(n, p) for n, p in pairs])
+        assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+        eager_opts = CompilerOptions(level=3, schedule="round-robin")
+        for (n, p), r in zip(pairs, results):
+            # the artifact must be this request's geometry, not a neighbor's
+            assert r.value("a").shape == (n,)
+            grids = {
+                m.processors.shape
+                for cs in r.compiled.subroutines.values()
+                for a in cs.construction.versions.arrays()
+                for m in cs.construction.versions.versions(a)
+            }
+            assert grids == {(p,)}
+            # no pipeline front end ran for any storm request
+            assert r.cache_source in ("memory", "instantiated") or r.deduped
+            # differential: bit-identical to a from-scratch eager compile
+            ref = compile_program(
+                SYMBOLIC_SRC, bindings={"n": n, "t": 3}, processors=p,
+                options=eager_opts,
+            )
+            env = ExecutionEnv(
+                bindings={"n": n, "t": 3},
+                inputs={"a": np.arange(n, dtype=float)},
+            )
+            want = execute(ref, env=env)
+            assert np.array_equal(r.value("a"), want.value("a"))
+            assert r.result.machine.stats.bytes == want.machine.stats.bytes
+            assert r.result.machine.stats.messages == want.machine.stats.messages
+        snap = svc.stats.snapshot()
+        assert snap["instantiations"] >= 1  # template tier visibly used
+        assert svc.pool.stats["instantiations"] >= 1
+        # accounting: every storm request is a hit, an instantiation or a
+        # dedup save -- never a fresh pipeline compile
+        assert snap["compile_misses"] == 1  # the warming request only
+
+
+def test_instantiated_artifacts_evict_like_any_cache_entry():
+    """The instantiation cache (concrete artifacts minted from a template)
+    obeys the session LRU bound; eviction never breaks later serves."""
+    opts = CompilerOptions.symbolic(level=3, schedule="round-robin")
+    session = CompilerSession(processors=2, options=opts, max_entries=2)
+    tiers = []
+    for n, p in _SYMBOLIC_PAIRS:
+        _, tier = session.compile_traced(
+            SYMBOLIC_SRC, bindings={"n": n, "t": 3}, processors=p
+        )
+        tiers.append(tier)
+    assert tiers[0] == "compiled"
+    assert all(t == "instantiated" for t in tiers[1:])
+    stats = session.stats
+    assert stats["evictions"] > 0
+    assert stats["entries"] <= 2
+    # an evicted shape is re-instantiated (from the retained template),
+    # not recompiled
+    _, tier = session.compile_traced(
+        SYMBOLIC_SRC, bindings={"n": _SYMBOLIC_PAIRS[0][0], "t": 3},
+        processors=_SYMBOLIC_PAIRS[0][1],
+    )
+    assert tier == "instantiated"
+    # no full pipeline ran for the re-serve: passes_run is untouched
+    assert session.stats["passes_run"] == stats["passes_run"]
+    assert session.stats["instantiations"] == stats["instantiations"] + 1

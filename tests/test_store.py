@@ -429,7 +429,10 @@ def test_two_processes_racing_on_one_key(tmp_path):
     for p, (out, err) in zip(procs, outs):
         assert p.returncode == 0, err
         tier, keys_equal = out.split()
-        assert tier == "compiled"  # each process cold-compiled (own memory)
+        # a worker that starts after the other has published the entry is
+        # legitimately served from disk; what must never happen is a
+        # memory hit (the processes share no memory)
+        assert tier in ("compiled", "disk")
         # the runtime-only binding `t` is excluded from the key, so the
         # sidecar-refined key matches across binding variants
         assert keys_equal == "True"
