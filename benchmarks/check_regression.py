@@ -23,7 +23,16 @@ and load -- so only regressions that cannot be machine noise fail:
   machines;
 * **symbolic-template floors**: the shape-diverse sweep must keep its
   >= 0.9 store hit rate, collapse to one shape-erased entry, and keep
-  instantiation >= 20x cheaper than a concrete compile.
+  instantiation >= 20x cheaper than a concrete compile;
+* **instrumentation price ceilings**: the warm service batch priced with
+  metric publication on must stay within 1% of the metrics-disabled
+  floor, and within 5% with tracing enabled.
+
+Every fresh BENCH json must additionally embed a well-formed registry
+snapshot under ``"obs"`` (schema-versioned, histograms internally
+consistent); a missing or malformed snapshot is an infrastructure
+failure (exit 2), because it means the benchmarks and the gate no
+longer speak one schema.
 
 Only worker counts / cases present in *both* files are compared, so CI's
 smaller smoke sweeps gate against the full committed baselines.  Exit
@@ -40,6 +49,49 @@ from pathlib import Path
 #: makespans are floats computed by one formula on both sides; the
 #: epsilon only forgives float-sum ordering jitter, not real contention
 EPS = 1e-9
+
+#: registry snapshot schema every fresh BENCH json must embed under
+#: "obs" (kept in sync with repro.obs.metrics.SCHEMA_VERSION by
+#: tests/test_perf_gate.py)
+OBS_SCHEMA = 1
+
+#: instrumentation price ceilings on the warm service batch: metric
+#: publication alone must stay under 1%, full tracing under 5%
+MAX_METRICS_OVERHEAD = 0.01
+MAX_TRACING_OVERHEAD = 0.05
+
+
+def check_obs_snapshot(fresh: dict, name: str) -> list[str]:
+    """Validate the registry snapshot a fresh BENCH json must embed.
+
+    Infrastructure-grade checks (the caller exits 2 on any finding): the
+    ``obs`` block must exist, carry the expected schema version, and
+    every histogram must be internally consistent -- ``count`` equal to
+    the sum of its bucket counts (a torn histogram means the snapshot
+    raced a writer, which the locking is supposed to prevent).
+    """
+    obs = fresh.get("obs")
+    if not isinstance(obs, dict):
+        return [f"{name}: missing embedded registry snapshot ('obs' key)"]
+    if obs.get("schema") != OBS_SCHEMA:
+        return [
+            f"{name}: obs snapshot schema {obs.get('schema')!r} != "
+            f"expected {OBS_SCHEMA}"
+        ]
+    problems = []
+    metrics = obs.get("metrics")
+    if not isinstance(metrics, list):
+        return [f"{name}: obs snapshot has no metrics list"]
+    for m in metrics:
+        if not isinstance(m, dict) or "name" not in m or "kind" not in m:
+            problems.append(f"{name}: malformed obs metric entry {m!r}")
+            continue
+        if m["kind"] == "histogram" and m["count"] != sum(m["counts"]):
+            problems.append(
+                f"{name}: torn histogram {m['name']} -- count {m['count']} "
+                f"!= bucket sum {sum(m['counts'])}"
+            )
+    return problems
 
 
 def _load(path: Path) -> dict:
@@ -148,6 +200,21 @@ def check_service(
             f"service: warm 4-worker speedup {speedup:.2f}x fell below the "
             "asserted 2x floor"
         )
+    overhead = fresh.get("overhead")
+    if overhead is not None:
+        compared += 1
+        mo = float(overhead["metrics_overhead"])
+        to = float(overhead["tracing_overhead"])
+        if mo > MAX_METRICS_OVERHEAD:
+            problems.append(
+                f"service[overhead]: metric publication costs {mo:.2%} of the "
+                f"warm batch (ceiling: {MAX_METRICS_OVERHEAD:.0%})"
+            )
+        if to > MAX_TRACING_OVERHEAD:
+            problems.append(
+                f"service[overhead]: tracing costs {to:.2%} of the warm batch "
+                f"(ceiling: {MAX_TRACING_OVERHEAD:.0%})"
+            )
     return problems, compared
 
 
@@ -225,10 +292,16 @@ def main(argv: list[str] | None = None) -> int:
     ):
         fresh_path = args.fresh_dir / name
         base_path = args.baseline_dir / name
+        fresh = _load(fresh_path)
+        infra = check_obs_snapshot(fresh, name)
+        if name == "BENCH_service.json" and "overhead" not in fresh:
+            infra.append(f"{name}: missing the instrumentation 'overhead' block")
+        if infra:
+            for p in infra:
+                print(f"perf-gate: {p} -- refusing to gate", file=sys.stderr)
+            return 2
         try:
-            found, compared = check(
-                _load(fresh_path), _load(base_path), args.max_slowdown
-            )
+            found, compared = check(fresh, _load(base_path), args.max_slowdown)
         except (KeyError, TypeError, ValueError) as exc:
             # a renamed/missing policy or metric key is schema drift --
             # an infrastructure failure (2), not a perf regression (1)

@@ -17,11 +17,13 @@ the numbers as artifacts.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import CompilerOptions, ExecutionEnv, Executor, Machine, compile_program
+from repro.obs import REGISTRY
 
 
 def pytest_addoption(parser):
@@ -35,16 +37,58 @@ def pytest_addoption(parser):
     )
 
 
+def _publish_bench_values(bench: str, payload: dict) -> None:
+    """Mirror a payload's numeric leaves into the ``repro.bench.value`` gauge.
+
+    Top-level numeric scalars publish under ``case="-"``; entries of a
+    ``results`` mapping publish one case per key, with nested dicts
+    flattened to dotted metric names.  The registry snapshot embedded in
+    the JSON output therefore carries the same headline numbers the
+    payload does -- one schema for humans and machines.
+    """
+
+    def leaves(prefix: str, value, out: list[tuple[str, float]]) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            out.append((prefix, float(value)))
+        elif isinstance(value, dict):
+            for k, v in value.items():
+                leaves(f"{prefix}.{k}" if prefix else str(k), v, out)
+
+    def publish(case: str, tree) -> None:
+        flat: list[tuple[str, float]] = []
+        leaves("", tree, flat)
+        for metric, value in flat:
+            REGISTRY.gauge(
+                "repro.bench.value",
+                {"bench": bench, "case": case, "metric": metric},
+            ).set(value)
+
+    publish("-", {k: v for k, v in payload.items() if isinstance(v, (int, float))})
+    results = payload.get("results")
+    if isinstance(results, dict):
+        for case, tree in results.items():
+            publish(str(case), tree)
+
+
 @pytest.fixture
 def bench_json(request):
     """Write one benchmark's results as JSON; returns the path written.
 
     ``bench_json(default_path, payload)`` honours ``--json PATH`` when
-    given, else writes to the benchmark's own default file.
+    given, else writes to the benchmark's own default file.  Dict
+    payloads additionally publish their headline numbers through the
+    process-wide metrics registry (``repro.bench.value``) and embed a
+    full registry snapshot under the ``"obs"`` key, so every BENCH json
+    doubles as a metrics export.
     """
 
     def _write(default_path: str, payload) -> str:
         path = request.config.getoption("--json") or default_path
+        if isinstance(payload, dict):
+            _publish_bench_values(Path(default_path).stem, payload)
+            payload.setdefault("obs", REGISTRY.snapshot())
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")

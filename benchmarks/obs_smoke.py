@@ -1,0 +1,102 @@
+"""CI smoke assertion: the warm workload produces a well-formed trace.
+
+Run as a script (``python benchmarks/obs_smoke.py [--trace PATH]
+[--prometheus PATH]``).  It executes the mixed four-app workload twice
+through a :class:`~repro.service.CompileService` with tracing enabled --
+the cold batch compiles, the warm batch is pure cache hits -- then
+exports:
+
+* the Chrome ``trace_event`` dump of both batches (default
+  ``TRACE_workload.json``), loadable in Perfetto / ``chrome://tracing``
+  for a flamegraph of the service;
+* the full metrics registry as a Prometheus text snapshot (default
+  ``PROM_workload.prom``).
+
+The smoke assertions exit non-zero (failing the CI leg) unless:
+
+1. :func:`repro.obs.validate_spans` finds no structural problems --
+   every span has nonnegative duration, every parent exists, shares the
+   child's trace ID and contains the child's interval;
+2. every request produced a ``service.request`` root span and at least
+   one warm request's trace reaches the executor (``service.run`` /
+   ``executor.run`` spans nested under it);
+3. every executed scheduled remap was drift-clean (predicted ==
+   observed bytes and messages).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_service import NPROCS, _mixed_requests
+
+from repro import CompilerOptions, CompileService
+from repro.obs import REGISTRY, TRACER, top_spans, validate_spans
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default="TRACE_workload.json")
+    parser.add_argument("--prometheus", default="PROM_workload.prom")
+    args = parser.parse_args(argv)
+
+    TRACER.enabled = True
+    TRACER.clear()
+    requests = _mixed_requests(io_seconds=0.0, repeat=2)
+    options = CompilerOptions(schedule="round-robin")  # drift-checked remaps
+    with CompileService(processors=NPROCS, workers=4, shards=8, options=options) as svc:
+        cold = svc.run_batch(requests)
+        warm = svc.run_batch(requests)
+    failures = [str(r.error) for r in cold + warm if r.error is not None]
+
+    trace = TRACER.write_chrome_trace(args.trace)
+    Path(args.prometheus).write_text(REGISTRY.prometheus_text())
+    events = trace["traceEvents"]
+    roots = [e for e in events if e["name"] == "service.request"]
+    runs = [e for e in events if e["name"] == "executor.run"]
+
+    problems = validate_spans(trace)
+    if failures:
+        problems.append(f"{len(failures)} request(s) errored: {failures[:3]}")
+    if len(roots) != len(cold) + len(warm):
+        problems.append(
+            f"expected {len(cold) + len(warm)} service.request root spans, "
+            f"got {len(roots)}"
+        )
+    if not runs:
+        problems.append("no executor.run span reached the trace")
+    drift = {
+        m["name"]: m["value"]
+        for m in REGISTRY.snapshot()["metrics"]
+        if m["name"].startswith("repro.drift.") and m["kind"] == "counter"
+    }
+    if drift.get("repro.drift.remaps_checked", 0) <= 0:
+        problems.append("no scheduled remap was drift-checked")
+    for key in ("byte_mismatches", "message_mismatches"):
+        if drift.get(f"repro.drift.{key}", 0) != 0:
+            problems.append(f"drift monitor saw {key}: {drift[f'repro.drift.{key}']}")
+
+    report = {
+        "trace_path": args.trace,
+        "prometheus_path": args.prometheus,
+        "spans": len(events),
+        "request_roots": len(roots),
+        "executor_runs": len(runs),
+        "drift": drift,
+        "top_spans": top_spans(trace, 8),
+        "problems": problems,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if problems:
+        print(f"obs-smoke FAILED: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,14 @@ when they can never move more bytes than the unmoved placement.
 :func:`predict_traffic` and ``result.observed_traffic()`` are the two
 halves of the traffic oracle relating predictions to executed ground
 truth.
+
+Observability (:mod:`repro.obs`, ``docs/OBSERVABILITY.md``): every
+subsystem publishes into one process-wide metrics registry
+(:data:`OBS_REGISTRY`, JSON/Prometheus exportable, browsable with
+``python -m repro.obs``), requests trace end to end through
+:data:`TRACER` (Chrome ``trace_event`` dumps), and every executed
+scheduled remap is drift-checked against its static prediction
+(``result.drift``, :class:`DriftMonitor`).
 """
 
 from repro.compiler import (
@@ -76,6 +84,8 @@ from repro.mapping import (
     ProcessorArrangement,
     Template,
 )
+from repro.obs import REGISTRY as OBS_REGISTRY
+from repro.obs import TRACER, DriftMonitor, DriftRecord, MetricsRegistry, Tracer
 from repro.runtime import ExecutionEnv, ExecutionResult, Executor, execute
 from repro.service import (
     CompileRequest,
@@ -111,11 +121,15 @@ __all__ = [
     "DistFormat",
     "DistributedArray",
     "Distribution",
+    "DriftMonitor",
+    "DriftRecord",
     "ExecutionEnv",
     "ExecutionResult",
     "Executor",
     "Machine",
     "Mapping",
+    "MetricsRegistry",
+    "OBS_REGISTRY",
     "PassManager",
     "Pipeline",
     "PipelineTrace",
@@ -124,7 +138,9 @@ __all__ = [
     "ServiceStats",
     "SessionPool",
     "SubroutineBuilder",
+    "TRACER",
     "Template",
+    "Tracer",
     "TrafficEstimate",
     "compilation_report",
     "compile_program",

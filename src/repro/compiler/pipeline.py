@@ -47,6 +47,8 @@ from repro.lang.ast_nodes import Call, Program, Subroutine, walk_statements
 from repro.lang.parser import parse_program
 from repro.lang.semantics import ResolvedProgram, resolve_program
 from repro.mapping.processors import ProcessorArrangement
+from repro.obs.catalog import REGISTRY as _OBS
+from repro.obs.trace import TRACER as _TRACER
 from repro.remap import codegen as codegen_mod
 from repro.remap import construction as construction_mod
 from repro.remap import livecopies as livecopies_mod
@@ -444,6 +446,13 @@ class SchedulePass:
         verified = certify_table(table, built)
         ctx.plans = table
         plans = table.plans()
+        _OBS.counter("repro.schedule.plans_precompiled").inc(len(table))
+        _OBS.counter("repro.schedule.phases_planned").inc(
+            sum(p.phase_count for p in plans)
+        )
+        _OBS.counter("repro.schedule.messages_planned").inc(
+            sum(p.message_count for p in plans)
+        )
         return {
             "plans": len(table),
             "pairs": pairs,
@@ -623,11 +632,18 @@ class Pipeline:
             options=options,
         )
         trace = trace if trace is not None else PipelineTrace()
+        _OBS.counter("repro.compiler.pipelines_run").inc()
         for p in self.passes:
             t0 = time.perf_counter()
-            counters = p.run(ctx) or {}
-            trace.record(p.name, time.perf_counter() - t0, counters)
+            with _TRACER.span(f"pass:{p.name}"):
+                counters = p.run(ctx) or {}
+            seconds = time.perf_counter() - t0
+            trace.record(p.name, seconds, counters)
             ctx.ran.add(p.name)
+            _OBS.counter("repro.compiler.passes_run", {"pass": p.name}).inc()
+            _OBS.histogram("repro.compiler.pass_seconds", {"pass": p.name}).observe(
+                seconds
+            )
         ctx.report.trace = trace
         return ctx
 

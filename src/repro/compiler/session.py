@@ -65,6 +65,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from os import PathLike
 from typing import TYPE_CHECKING
@@ -74,12 +75,24 @@ from repro.compiler.pipeline import PassManager
 from repro.lang.ast_nodes import Program, Subroutine
 from repro.lang.printer import print_program, print_subroutine
 from repro.mapping.processors import ProcessorArrangement
+from repro.obs.catalog import REGISTRY as _OBS
+from repro.obs.trace import TRACER as _TRACER
 
 if TYPE_CHECKING:
     from repro.compiler.template import SymbolicTemplate
     from repro.runtime.executor import ExecutionResult
     from repro.spmd.machine import Machine
     from repro.store import ArtifactStore
+
+# Registry mirrors of the per-session counters: each session keeps its
+# own ints (per-instance stats stay exact) and folds every increment
+# into the process-wide repro.session.* aggregates.
+_M_HITS = _OBS.counter("repro.session.hits")
+_M_MISSES = _OBS.counter("repro.session.misses")
+_M_EVICTIONS = _OBS.counter("repro.session.evictions")
+_M_STORE_HITS = _OBS.counter("repro.session.store_hits")
+_M_STORE_WRITES = _OBS.counter("repro.session.store_writes")
+_M_INSTANTIATIONS = _OBS.counter("repro.session.instantiations")
 
 #: Cache key: (source digest, sorted bindings, processors, pass names,
 #: cost model, schedule policy).  The cost model is compile-relevant: the
@@ -291,6 +304,7 @@ class CompilerSession:
                 return None
             self._cache.move_to_end(key)
             self.hits += 1
+        _M_HITS.inc()
         return with_bindings(cached, bindings)
 
     def compile(
@@ -413,6 +427,7 @@ class CompilerSession:
         while len(self._cache) > self.max_entries:
             evicted_key, _ = self._cache.popitem(last=False)
             self.evictions += 1
+            _M_EVICTIONS.inc()
             self._forget_if_unreferenced(evicted_key[0])
 
     def _insert_template(self, tkey: tuple, template: "SymbolicTemplate") -> None:
@@ -422,6 +437,7 @@ class CompilerSession:
         while len(self._templates) > self.max_entries:
             evicted_key, _ = self._templates.popitem(last=False)
             self.evictions += 1
+            _M_EVICTIONS.inc()
             self._forget_if_unreferenced(evicted_key[0])
 
     def compile_traced(
@@ -445,7 +461,31 @@ class CompilerSession:
         artifact -- for symbolized sources, the shape-erased template
         instead -- is written back for other processes).  The service
         layer surfaces the tier as ``ServiceResult.cache_source``.
+
+        Each call opens a ``session.compile`` span (tier recorded on
+        exit) and lands in the ``repro.session.compile_seconds``
+        histogram under its tier label.
         """
+        t0 = time.perf_counter()
+        with _TRACER.span("session.compile") as span:
+            compiled, tier = self._compile_traced(
+                source, bindings, processors, options, digest=digest
+            )
+            span.set_attr("tier", tier)
+        _OBS.histogram("repro.session.compile_seconds", {"tier": tier}).observe(
+            time.perf_counter() - t0
+        )
+        return compiled, tier
+
+    def _compile_traced(
+        self,
+        source: str | Program | Subroutine,
+        bindings: dict[str, int] | None = None,
+        processors: ProcessorArrangement | int | None = None,
+        options: CompilerOptions | None = None,
+        *,
+        digest: str | None = None,
+    ) -> tuple[CompiledProgram, str]:
         options = options or self.options
         if processors is None:
             processors = self.processors
@@ -462,6 +502,7 @@ class CompilerSession:
                 # counted before the pipeline runs, so a compile that
                 # raises still shows up in the shard's miss statistics
                 self.misses += 1
+        (_M_HITS if cached is not None else _M_MISSES).inc()
         if cached is not None:
             # outside the lock: wrapper construction is pure
             return with_bindings(cached, bindings), "memory"
@@ -474,6 +515,7 @@ class CompilerSession:
             # loaded artifact arrives frozen and joins the memory cache
             loaded = self.store.load(key)
             if loaded is not None:
+                _M_STORE_HITS.inc()
                 with self._lock:
                     self.store_hits += 1
                     if loaded.report is not None:
@@ -536,6 +578,7 @@ class CompilerSession:
                     key, compiled, binding_names=names, shape_names=shapes
                 )
             if wrote:
+                _M_STORE_WRITES.inc()
                 with self._lock:
                     self.store_writes += 1
         return compiled, "compiled"
@@ -567,13 +610,16 @@ class CompilerSession:
             loaded = self.store.load(tkey)
             if isinstance(loaded, SymbolicTemplate):
                 template = loaded
+                _M_STORE_HITS.inc()
                 with self._lock:
                     self.store_hits += 1
                     self._insert_template(tkey, template)
         if template is None or template.missing_shapes(bindings):
             return None
-        compiled = template.instantiate(bindings, processors)
+        with _TRACER.span("template.instantiate"):
+            compiled = template.instantiate(bindings, processors)
         compiled.freeze()
+        _M_INSTANTIATIONS.inc()
         with self._lock:
             self.instantiations += 1
             key = self._key(digest, bindings, processors, options)

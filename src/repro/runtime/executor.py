@@ -48,6 +48,7 @@ user-supplied kernels must not close over state mutated across requests
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -55,6 +56,9 @@ import numpy as np
 
 from repro.errors import RuntimeRemapError
 from repro.compiler.artifacts import CompiledProgram, CompiledSubroutine
+from repro.obs.catalog import REGISTRY as _OBS
+from repro.obs.drift import DriftMonitor, DriftRecord
+from repro.obs.trace import TRACER as _TRACER
 from repro.ir.effects import Use
 from repro.lang.ast_nodes import (
     Block,
@@ -212,6 +216,9 @@ class ExecutionResult:
         self._frame = frame
         self.machine = executor.machine
         self.stats = executor.machine.stats
+        #: aggregate predicted-vs-observed drift over the run's scheduled
+        #: remaps (see :mod:`repro.obs.drift`); clean when nothing drifted
+        self.drift = executor.drift.stats
 
     def value(self, name: str) -> np.ndarray:
         state = self._frame.arrays[name]
@@ -306,6 +313,8 @@ class Executor:
         self._plan_overlay: CommPlanTable | None = (
             CommPlanTable(self.policy) if self.policy is not None else None
         )
+        # per-run predicted-vs-observed accounting for scheduled remaps
+        self.drift = DriftMonitor()
 
     # -- memory ----------------------------------------------------------------
 
@@ -337,11 +346,33 @@ class Executor:
     def run(self, sub_name: str) -> ExecutionResult:
         """Execute one subroutine as the program entry point."""
         compiled = self.compiled.get(sub_name)
-        frame = self._enter_frame(compiled, args=None, caller=None)
-        self._exec_ops(frame, compiled.code.entry_ops)
-        self._exec_block(frame, compiled.sub.body)
-        self._exec_ops(frame, compiled.code.exit_ops)
-        self._frames.pop()
+        stats = self.machine.stats
+        before = stats.snapshot()
+        t0 = time.perf_counter()
+        with _TRACER.span("executor.run", sub=sub_name):
+            frame = self._enter_frame(compiled, args=None, caller=None)
+            self._exec_ops(frame, compiled.code.entry_ops)
+            self._exec_block(frame, compiled.sub.body)
+            self._exec_ops(frame, compiled.code.exit_ops)
+            self._frames.pop()
+        _OBS.counter("repro.runtime.runs").inc()
+        _OBS.histogram("repro.runtime.run_seconds").observe(time.perf_counter() - t0)
+        after = stats.snapshot()
+        for metric, key in (
+            ("repro.runtime.bytes_moved", "bytes"),
+            ("repro.runtime.messages", "messages"),
+            ("repro.runtime.remaps_performed", "remaps_performed"),
+            ("repro.runtime.plans_built", "plans_built"),
+            ("repro.runtime.plans_reused", "plans_reused"),
+        ):
+            delta = after[key] - before[key]
+            if delta:
+                _OBS.counter(metric).inc(delta)
+        skipped = (after["remaps_skipped_live"] - before["remaps_skipped_live"]) + (
+            after["remaps_skipped_status"] - before["remaps_skipped_status"]
+        )
+        if skipped:
+            _OBS.counter("repro.runtime.remaps_skipped").inc(skipped)
         return ExecutionResult(self, frame)
 
     # -- frames ----------------------------------------------------------------------
@@ -514,9 +545,27 @@ class Executor:
         if plan is None:
             plan = self._plan_overlay.build(src_mapping, dst_mapping)
             stats.plans_built += 1
+            reused = False
         else:
             stats.plans_reused += 1
-        execute_comm_schedule(plan, source, target, self.machine, tag=tag)
+            reused = True
+        itemsize = np.dtype(self.env.dtype).itemsize
+        bytes_before = stats.bytes
+        messages_before = stats.messages
+        makespan_before = self.machine.phase_seconds
+        with _TRACER.span("remap.plan_replay", tag=tag, reused=reused):
+            execute_comm_schedule(plan, source, target, self.machine, tag=tag)
+        self.drift.record(
+            DriftRecord(
+                tag=tag,
+                predicted_bytes=plan.moved_bytes(itemsize),
+                observed_bytes=stats.bytes - bytes_before,
+                predicted_messages=plan.message_count,
+                observed_messages=stats.messages - messages_before,
+                predicted_makespan=plan.makespan(self.machine.cost, itemsize),
+                observed_makespan=self.machine.phase_seconds - makespan_before,
+            )
+        )
 
     # -- statements -------------------------------------------------------------------------
 

@@ -49,6 +49,9 @@ from repro.compiler.artifacts import CompiledProgram, CompilerOptions
 from repro.compiler.session import source_digest, with_bindings
 from repro.lang.ast_nodes import Program, Subroutine
 from repro.mapping.processors import ProcessorArrangement
+from repro.obs.catalog import REGISTRY as _OBS
+from repro.obs.metrics import SECONDS_BUCKETS, Histogram
+from repro.obs.trace import TRACER as _TRACER
 from repro.runtime.executor import ExecutionEnv, ExecutionResult, execute
 from repro.service.pool import SessionPool
 
@@ -139,14 +142,20 @@ class ServiceResult:
 
 
 class ServiceStats:
-    """Thread-safe service telemetry with a percentile-ready latency log.
+    """Thread-safe service telemetry, a thin view over obs histograms.
 
     Counters cover the request lifecycle (submitted / completed / errors),
     the cache interaction (hits, misses, single-flight dedup saves) and
     the queue (current depth, high-water mark).  :meth:`snapshot` derives
     throughput (completed requests per wall second between the first
-    submit and the last completion) and p50/p99 latency from a bounded
-    reservoir of the most recent request latencies.
+    submit and the last completion); p50/p99 latency come from a
+    fixed-bucket exponential :class:`~repro.obs.metrics.Histogram` --
+    every request lands in a deterministic bucket, so the quantiles are
+    within one bucket width of truth at *any* volume, unlike the bounded
+    reservoir this class used to keep (which under-weighted tail
+    latencies once requests outnumbered the window).  Every counter
+    increment is mirrored into the process-wide ``repro.service.*``
+    registry metrics.
 
     Accounting invariant: every completed request that *obtained an
     artifact* is exactly one of ``compile_hits`` (shard memory hit) /
@@ -156,6 +165,9 @@ class ServiceStats:
     failed before obtaining one count only in ``errors`` (the shard
     sessions still record their miss, so pool statistics additionally see
     failed compile attempts).
+
+    ``latency_window`` is accepted for backward compatibility; the
+    histogram is unbounded (fixed buckets), so nothing is ever dropped.
     """
 
     def __init__(self, latency_window: int = 8192):
@@ -171,7 +183,7 @@ class ServiceStats:
         self.dedup_saves = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
-        self._latencies: list[float] = []
+        self.latency = Histogram("service.latency_seconds", buckets=SECONDS_BUCKETS)
         self._first_submit: float | None = None
         self._last_done: float | None = None
 
@@ -184,22 +196,30 @@ class ServiceStats:
             self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
             if self._first_submit is None:
                 self._first_submit = now
+            depth = self.queue_depth
+        _OBS.counter("repro.service.requests_submitted").inc()
+        _OBS.gauge("repro.service.queue_depth").inc()
+        _OBS.gauge("repro.service.queue_depth_max").set_max(depth)
 
     def record_start(self) -> None:
         with self._lock:
             self.queue_depth -= 1
+        _OBS.gauge("repro.service.queue_depth").inc(-1)
 
     def record_submit_failed(self) -> None:
         """Undo one :meth:`record_submit` whose request never reached a worker."""
         with self._lock:
             self.submitted -= 1
             self.queue_depth -= 1
+        _OBS.gauge("repro.service.queue_depth").inc(-1)
 
     def record_dedup_save(self) -> None:
         with self._lock:
             self.dedup_saves += 1
+        _OBS.counter("repro.service.dedup_saves").inc()
 
     def record_done(self, res: ServiceResult, now: float) -> None:
+        mirror = "repro.service.requests_completed"
         with self._lock:
             self.completed += 1
             if res.error is not None:
@@ -215,24 +235,25 @@ class ServiceStats:
                     self.store_hits += 1
                 else:
                     self.compile_misses += 1
-            self._latencies.append(res.seconds)
-            if len(self._latencies) > self.latency_window:
-                del self._latencies[: -self.latency_window]
             self._last_done = now
+        self.latency.observe(res.seconds)
+        _OBS.counter(mirror).inc()
+        _OBS.histogram("repro.service.request_seconds").observe(res.seconds)
+        if res.error is not None:
+            _OBS.counter("repro.service.errors").inc()
+        if res.compiled is not None and not res.deduped:
+            tier_metric = {
+                "memory": "repro.service.compile_hits",
+                "instantiated": "repro.service.instantiations",
+                "disk": "repro.service.store_hits",
+            }.get(res.cache_source, "repro.service.compile_misses")
+            _OBS.counter(tier_metric).inc()
 
     # -- derived -----------------------------------------------------------
-
-    @staticmethod
-    def _percentile(sorted_latencies: list[float], q: float) -> float:
-        if not sorted_latencies:
-            return 0.0
-        i = max(0, int(np.ceil(q * len(sorted_latencies))) - 1)
-        return sorted_latencies[i]
 
     def snapshot(self) -> dict[str, object]:
         """A consistent point-in-time view of every service metric."""
         with self._lock:
-            lat = sorted(self._latencies)
             elapsed = (
                 (self._last_done - self._first_submit)
                 if self._first_submit is not None and self._last_done is not None
@@ -250,8 +271,8 @@ class ServiceStats:
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
                 "throughput_rps": (self.completed / elapsed) if elapsed > 0 else 0.0,
-                "p50_latency_ms": self._percentile(lat, 0.50) * 1e3,
-                "p99_latency_ms": self._percentile(lat, 0.99) * 1e3,
+                "p50_latency_ms": self.latency.quantile(0.50) * 1e3,
+                "p99_latency_ms": self.latency.quantile(0.99) * 1e3,
                 "elapsed_seconds": elapsed,
             }
 
@@ -264,6 +285,10 @@ class _InFlight:
     compiled: CompiledProgram | None = None
     source: str = "compiled"  # the leader's serving tier (cache provenance)
     error: BaseException | None = None
+    # the leader's active span at flight creation, so follower traces can
+    # link to the trace that actually did the compile work
+    leader_trace_id: str = ""
+    leader_span_id: str = ""
 
 
 def _copy_exception(exc: BaseException) -> BaseException:
@@ -376,6 +401,10 @@ class CompileService:
             flight = self._inflight.get(key)
             if flight is None:
                 flight = _InFlight()
+                cur = _TRACER.current_span()
+                if cur is not None:
+                    flight.leader_trace_id = cur.trace_id
+                    flight.leader_span_id = cur.span_id
                 self._inflight[key] = flight
                 leader = True
             else:
@@ -386,6 +415,11 @@ class CompileService:
                 raise _copy_exception(flight.error)
             assert flight.compiled is not None
             self.stats.record_dedup_save()
+            cur = _TRACER.current_span()
+            if cur is not None and flight.leader_span_id:
+                cur.link(
+                    flight.leader_trace_id, flight.leader_span_id, kind="dedup-leader"
+                )
             # the leader's artifact carries the *leader's* runtime-only
             # bindings; rebase onto this caller's, like any cache hit
             return with_bindings(flight.compiled, bindings), flight.source, True
@@ -420,34 +454,42 @@ class CompileService:
         self.stats.record_start()
         t0 = time.perf_counter()
         res = ServiceResult(index=index)
-        try:
-            if request.io_seconds > 0:  # modeled request ingest (see module doc)
-                time.sleep(request.io_seconds / 2)
-            tc = time.perf_counter()
-            compiled, res.cache_source, res.deduped = self.compile(
-                request.source,
-                bindings=request.bindings,
-                processors=request.processors,
-                options=request.options,
-            )
-            res.compiled = compiled
-            res.compile_seconds = time.perf_counter() - tc
-            if request.run:
-                tr = time.perf_counter()
-                env = ExecutionEnv(
-                    conditions=dict(request.conditions or {}),
-                    bindings=dict(request.bindings or {}),
-                    kernels=dict(request.kernels or {}),
-                    inputs=dict(request.inputs or {}),
-                    check_invariants=request.check_invariants,
-                    dtype=np.float64 if request.dtype is None else request.dtype,
-                )
-                res.result = execute(compiled, entry=request.entry, env=env)
-                res.run_seconds = time.perf_counter() - tr
-            if request.io_seconds > 0:  # modeled response transfer
-                time.sleep(request.io_seconds / 2)
-        except BaseException as exc:
-            res.error = exc
+        # worker threads have an empty span stack, so this root span mints
+        # a fresh trace id: the request's correlation id across every layer
+        with _TRACER.span("service.request", index=index) as root:
+            try:
+                if request.io_seconds > 0:  # modeled request ingest
+                    time.sleep(request.io_seconds / 2)
+                tc = time.perf_counter()
+                with _TRACER.span("service.compile") as cspan:
+                    compiled, res.cache_source, res.deduped = self.compile(
+                        request.source,
+                        bindings=request.bindings,
+                        processors=request.processors,
+                        options=request.options,
+                    )
+                    cspan.set_attr("tier", res.cache_source)
+                    cspan.set_attr("deduped", res.deduped)
+                res.compiled = compiled
+                res.compile_seconds = time.perf_counter() - tc
+                if request.run:
+                    tr = time.perf_counter()
+                    env = ExecutionEnv(
+                        conditions=dict(request.conditions or {}),
+                        bindings=dict(request.bindings or {}),
+                        kernels=dict(request.kernels or {}),
+                        inputs=dict(request.inputs or {}),
+                        check_invariants=request.check_invariants,
+                        dtype=np.float64 if request.dtype is None else request.dtype,
+                    )
+                    with _TRACER.span("service.run"):
+                        res.result = execute(compiled, entry=request.entry, env=env)
+                    res.run_seconds = time.perf_counter() - tr
+                if request.io_seconds > 0:  # modeled response transfer
+                    time.sleep(request.io_seconds / 2)
+            except BaseException as exc:
+                res.error = exc
+                root.set_attr("error", type(exc).__name__)
         res.seconds = time.perf_counter() - t0
         self.stats.record_done(res, time.perf_counter())
         return res

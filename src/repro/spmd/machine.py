@@ -30,8 +30,13 @@ from dataclasses import dataclass
 
 from repro.errors import OutOfMemoryError
 from repro.mapping.processors import ProcessorArrangement
+from repro.obs.catalog import REGISTRY as _OBS
 from repro.spmd.cost import CostModel
 from repro.spmd.message import Message, TrafficStats, check_one_port
+
+# module-cached registry handles: run_phase is the simulator's hottest path
+_M_PHASES = _OBS.counter("repro.machine.phases")
+_M_PHASE_SECONDS = _OBS.histogram("repro.machine.phase_seconds")
 
 
 @dataclass
@@ -133,6 +138,8 @@ class Machine:
             p.clock += duration
         self.stats.phases += 1
         self.phase_seconds += duration
+        _M_PHASES.inc()
+        _M_PHASE_SECONDS.observe(duration)
         return duration
 
     def compute(self, rank: int, seconds: float) -> None:

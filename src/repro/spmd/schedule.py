@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from repro.errors import ArtifactFrozenError, ScheduleError
 from repro.mapping.mapping import Mapping
 from repro.mapping.ownership import layout_of
+from repro.obs.trace import TRACER as _TRACER
 from repro.spmd.cost import CostModel
 from repro.spmd.darray import DistributedArray
 from repro.spmd.machine import Machine
@@ -339,26 +340,29 @@ def execute_comm_schedule(
                 tag=tag,
             )
         )
-    for phase in plan.phases:
-        messages = []
-        for pt in phase.transfers:
-            for part in pt.parts:
-                move_transfer(part, source, target)
-            messages.append(
-                Message(
-                    src=pt.src_rank,
-                    dst=pt.dst_rank,
-                    nbytes=pt.nbytes(itemsize),
-                    elements=pt.elements,
-                    array=target.name,
-                    tag=tag,
+    for i, phase in enumerate(plan.phases):
+        with _TRACER.span("comm.phase", index=i) as span:
+            messages = []
+            for pt in phase.transfers:
+                for part in pt.parts:
+                    move_transfer(part, source, target)
+                messages.append(
+                    Message(
+                        src=pt.src_rank,
+                        dst=pt.dst_rank,
+                        nbytes=pt.nbytes(itemsize),
+                        elements=pt.elements,
+                        array=target.name,
+                        tag=tag,
+                    )
                 )
+            machine.run_phase(
+                messages,
+                contended=phase.contended,
+                verified=plan.statically_verified,
             )
-        machine.run_phase(
-            messages,
-            contended=phase.contended,
-            verified=plan.statically_verified,
-        )
+            span.set_attr("messages", len(messages))
+            span.set_attr("bytes", sum(m.nbytes for m in messages))
 
 
 def scheduled_redistribute(

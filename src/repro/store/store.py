@@ -53,6 +53,16 @@ from pathlib import Path
 from typing import IO, TYPE_CHECKING, Iterator
 
 from repro.errors import ArtifactStoreError
+from repro.obs.catalog import REGISTRY as _OBS
+from repro.obs.trace import TRACER as _TRACER
+
+# Registry mirrors of the per-store counters (stores keep their own ints;
+# the process-wide repro.store.* aggregates fold every increment in).
+_M_MISSES = _OBS.counter("repro.store.misses")
+_M_WRITES = _OBS.counter("repro.store.writes")
+_M_CORRUPT = _OBS.counter("repro.store.corrupt_evicted")
+_M_SEMANTIC = _OBS.counter("repro.store.semantic_evicted")
+_M_LRU = _OBS.counter("repro.store.lru_evicted")
 
 if TYPE_CHECKING:
     from repro.compiler.artifacts import CompiledProgram
@@ -335,6 +345,7 @@ class ArtifactStore:
         if binding_names is not None and isinstance(key, tuple) and key:
             with contextlib.suppress(OSError):
                 self._store_names(str(key[0]), binding_names, shape_names)
+        _M_WRITES.inc()
         with self._lock:
             self.stores += 1
             self.stores_by_kind[kind] += 1
@@ -356,31 +367,50 @@ class ArtifactStore:
         executed.  A verified load refreshes the entry's mtime (the LRU
         recency the size bound evicts by) and returns the artifact
         re-frozen.
+
+        Each call opens a ``store.load`` span recording hit kind or miss.
         """
+        with _TRACER.span("store.load") as span:
+            artifact = self._load_verified(key)
+            span.set_attr(
+                "result",
+                self._artifact_kind(artifact) if artifact is not None else "miss",
+            )
+        return artifact
+
+    def _load_verified(
+        self, key: object
+    ) -> "CompiledProgram | SymbolicTemplate | None":
         path = self.entry_path(key)
         try:
             blob = path.read_bytes()
         except OSError:
+            _M_MISSES.inc()
             with self._lock:
                 self.misses += 1
             return None
         artifact = self._decode(blob)
         if artifact is None:
             self._evict_entry(path, corrupt=True)
+            _M_MISSES.inc()
             with self._lock:
                 self.misses += 1
             return None
         if self._invariant_issues(artifact):
             self._evict_entry(path, corrupt=True)
+            _M_SEMANTIC.inc()
+            _M_MISSES.inc()
             with self._lock:
                 self.semantic_evicted += 1
                 self.misses += 1
             return None
         with contextlib.suppress(OSError):
             os.utime(path)
+        kind = self._artifact_kind(artifact)
+        _OBS.counter("repro.store.hits", {"kind": kind}).inc()
         with self._lock:
             self.hits += 1
-            self.hits_by_kind[self._artifact_kind(artifact)] += 1
+            self.hits_by_kind[kind] += 1
         artifact.freeze()  # idempotent; pickling preserves frozen state
         return artifact
 
@@ -445,6 +475,7 @@ class ArtifactStore:
     def _evict_entry(self, path: Path, corrupt: bool = False) -> None:
         with contextlib.suppress(OSError):
             path.unlink()
+        (_M_CORRUPT if corrupt else _M_LRU).inc()
         with self._lock:
             if corrupt:
                 self.corrupt_evicted += 1
@@ -698,6 +729,7 @@ class ArtifactStore:
                 invalid += 1
                 if evict:
                     self._evict_entry(path, corrupt=True)
+                    _M_SEMANTIC.inc()
                     with self._lock:
                         self.semantic_evicted += 1
             else:

@@ -26,6 +26,7 @@ spec.loader.exec_module(check_regression)
 check_schedule = check_regression.check_schedule
 check_service = check_regression.check_service
 check_symbolic = check_regression.check_symbolic
+check_obs_snapshot = check_regression.check_obs_snapshot
 
 
 def _symbolic(hit_rate=0.97, entries=1, speedup=36.0, inst_ms=1.0, pairs=32):
@@ -190,6 +191,107 @@ def test_schema_drift_exits_2_not_1(tmp_path, capsys):
     )
     assert rc == 2
     assert "schema" in capsys.readouterr().err
+
+
+def _obs(schema=check_regression.OBS_SCHEMA, count=3):
+    return {
+        "schema": schema,
+        "metrics": [
+            {"name": "repro.x", "labels": {}, "kind": "counter", "value": 1.0},
+            {
+                "name": "repro.h",
+                "labels": {},
+                "kind": "histogram",
+                "count": count,
+                "sum": 0.5,
+                "bounds": [1.0],
+                "counts": [2, 1],
+            },
+        ],
+    }
+
+
+def test_obs_schema_constant_matches_library():
+    """The gate's OBS_SCHEMA pin and the library's snapshot schema must
+    move together -- this is the sync the gate docstring promises."""
+    from repro.obs import SCHEMA_VERSION
+
+    assert check_regression.OBS_SCHEMA == SCHEMA_VERSION
+
+
+def test_obs_snapshot_clean_passes():
+    assert check_obs_snapshot({"obs": _obs()}, "B.json") == []
+
+
+def test_obs_snapshot_missing_or_wrong_schema_flagged():
+    assert any("missing" in p for p in check_obs_snapshot({}, "B.json"))
+    problems = check_obs_snapshot({"obs": _obs(schema=99)}, "B.json")
+    assert any("schema" in p for p in problems)
+    problems = check_obs_snapshot({"obs": {"schema": 1, "metrics": None}}, "B.json")
+    assert any("no metrics list" in p for p in problems)
+
+
+def test_obs_snapshot_torn_histogram_and_malformed_entry_flagged():
+    problems = check_obs_snapshot({"obs": _obs(count=5)}, "B.json")
+    assert any("torn histogram" in p for p in problems)
+    mangled = _obs()
+    mangled["metrics"].append({"value": 1.0})  # no name/kind
+    problems = check_obs_snapshot({"obs": mangled}, "B.json")
+    assert any("malformed" in p for p in problems)
+
+
+def test_service_overhead_ceilings():
+    base = {"results": {"1": {"warm_rps": 100.0}}}
+
+    def fresh(metrics, tracing):
+        return {
+            "results": {"1": {"warm_rps": 100.0}},
+            "overhead": {"metrics_overhead": metrics, "tracing_overhead": tracing},
+        }
+
+    ok, compared = check_service(fresh(0.004, 0.03), base, 2.0)
+    assert ok == [] and compared == 2  # the overhead block counts as a case
+    problems, _ = check_service(fresh(0.02, 0.03), base, 2.0)
+    assert any("metric publication costs" in p for p in problems)
+    problems, _ = check_service(fresh(0.004, 0.08), base, 2.0)
+    assert any("tracing costs" in p for p in problems)
+    # a negative measured overhead (faster than the disabled floor, i.e.
+    # machine noise) is never a regression
+    assert check_service(fresh(-0.02, -0.01), base, 2.0)[0] == []
+
+
+def test_missing_overhead_block_is_infrastructure_failure(tmp_path, capsys):
+    """A service payload without the overhead block means the benchmark
+    and the gate no longer speak one schema: exit 2, never a silent pass."""
+    import json
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    for name in ("BENCH_schedule.json", "BENCH_service.json", "BENCH_symbolic.json"):
+        (tmp_path / name).write_text((base_dir / name).read_text())
+    svc = json.loads((tmp_path / "BENCH_service.json").read_text())
+    del svc["overhead"]
+    (tmp_path / "BENCH_service.json").write_text(json.dumps(svc))
+    rc = check_regression.main(
+        ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+    )
+    assert rc == 2
+    assert "overhead" in capsys.readouterr().err
+
+
+def test_stripped_obs_snapshot_is_infrastructure_failure(tmp_path, capsys):
+    import json
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    for name in ("BENCH_schedule.json", "BENCH_service.json", "BENCH_symbolic.json"):
+        (tmp_path / name).write_text((base_dir / name).read_text())
+    sched = json.loads((tmp_path / "BENCH_schedule.json").read_text())
+    del sched["obs"]
+    (tmp_path / "BENCH_schedule.json").write_text(json.dumps(sched))
+    rc = check_regression.main(
+        ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+    )
+    assert rc == 2
+    assert "refusing to gate" in capsys.readouterr().err
 
 
 def test_gate_passes_on_committed_baselines_shape():
