@@ -60,6 +60,11 @@ OBS_SCHEMA = 1
 MAX_METRICS_OVERHEAD = 0.01
 MAX_TRACING_OVERHEAD = 0.05
 
+#: fused loop replay must keep this steady-state speedup over plain
+#: execution on the 16-trip benchmark workload (measured well above it;
+#: the floor only catches the fast path silently disabling itself)
+MIN_FUSED_REPLAY_SPEEDUP = 1.5
+
 
 def check_obs_snapshot(fresh: dict, name: str) -> list[str]:
     """Validate the registry snapshot a fresh BENCH json must embed.
@@ -157,6 +162,35 @@ def check_schedule(
                 "schedule[verified-fast-path]: traffic drifted from baseline "
                 f"(bytes {fp['bytes']} vs {base_fp['bytes']}, messages "
                 f"{fp['messages']} vs {base_fp['messages']})"
+            )
+    fr = fresh.get("fused_replay")
+    if fr is not None:
+        # absolute floor (the benchmark's headline claim, re-checked here
+        # so a weakened assertion cannot slip through): fused loop replay
+        # must keep a clear steady-state win over plain execution
+        if float(fr["speedup"]) < MIN_FUSED_REPLAY_SPEEDUP:
+            problems.append(
+                f"schedule[fused-replay]: steady-state speedup "
+                f"{float(fr['speedup']):.2f}x fell below the "
+                f"{MIN_FUSED_REPLAY_SPEEDUP:g}x floor "
+                f"({fr['fused_us']:.0f}us fused vs {fr['unfused_us']:.0f}us)"
+            )
+        base_fr = baseline.get("fused_replay")
+        if base_fr is not None and (
+            base_fr.get("pattern") != fr.get("pattern")
+            or base_fr.get("trips") != fr.get("trips")
+        ):
+            base_fr = None  # different workload shape: incomparable
+        if base_fr is not None and (
+            fr["bytes"] != base_fr["bytes"]
+            or fr["messages"] != base_fr["messages"]
+            or fr["replays"] != base_fr["replays"]
+        ):
+            problems.append(
+                "schedule[fused-replay]: traffic or replay accounting drifted "
+                f"from baseline (bytes {fr['bytes']} vs {base_fr['bytes']}, "
+                f"messages {fr['messages']} vs {base_fr['messages']}, "
+                f"replays {fr['replays']} vs {base_fr['replays']})"
             )
     for case in sorted(set(fresh_results) & set(base_results)):
         compared += 1

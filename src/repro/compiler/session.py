@@ -218,6 +218,10 @@ class CompilerSession:
         # misses served by instantiating a symbolic template (no pipeline
         # front end ran; only the cheap structural tail)
         self.instantiations = 0
+        # fused loop replay across this session's runs (repro.runtime.fusion)
+        self.loop_traces_recorded = 0
+        self.loop_replays = 0
+        self.loop_invalidations = 0
 
     # -- cache -------------------------------------------------------------
 
@@ -271,7 +275,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
-            self._maybe_adopt_names(digest)
+            self._maybe_adopt_names(digest, options.symbolize)
             return self._key(digest, bindings, processors, options)
 
     def lookup(
@@ -297,7 +301,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
-            self._maybe_adopt_names(digest)
+            self._maybe_adopt_names(digest, options.symbolize)
             key = self._key(digest, bindings, processors, options)
             cached = self._cache.get(key)
             if cached is None:
@@ -385,7 +389,7 @@ class CompilerSession:
         if shapes is not None and digest not in self._shape_names:
             self._shape_names[digest] = shapes
 
-    def _maybe_adopt_names(self, digest: str) -> None:
+    def _maybe_adopt_names(self, digest: str, symbolize: bool = False) -> None:
         """Adopt the store's recorded binding names for a source (under lock).
 
         Another process may have compiled this source already; adopting
@@ -398,14 +402,23 @@ class CompilerSession:
         (:meth:`cache_key`, :meth:`lookup`, :meth:`compile_traced`) so the
         keys they report agree.  A sidecar miss is memoized: steady-state
         compiles of never-stored sources pay no disk reads.
+
+        ``symbolize`` requests re-read the *shape* sidecar even after the
+        memoized first check: a source first seen through a non-symbolic
+        compile adopts names before any shape classification exists, and
+        without the re-read a later symbolized request of the same digest
+        would compute no template key and cold-compile past a perfectly
+        servable stored template (found by the differential fuzzer's
+        store-round-trip cells).  The extra read only happens while the
+        digest has no known shapes, i.e. at most once per eventual hit.
         """
-        if (
-            self.store is not None
-            and digest not in self._binding_names
-            and digest not in self._names_checked
-        ):
+        if self.store is None:
+            return
+        if digest not in self._binding_names and digest not in self._names_checked:
             self._names_checked.add(digest)
             self._learn_names(digest, self.store.binding_names(digest))
+            self._learn_shapes(digest, self.store.shape_names(digest))
+        elif symbolize and digest not in self._shape_names:
             self._learn_shapes(digest, self.store.shape_names(digest))
 
     def _forget_if_unreferenced(self, digest: str) -> None:
@@ -492,7 +505,7 @@ class CompilerSession:
         if digest is None:
             digest = source_digest(source)
         with self._lock:
-            self._maybe_adopt_names(digest)
+            self._maybe_adopt_names(digest, options.symbolize)
             key = self._key(digest, bindings, processors, options)
             cached = self._cache.get(key)
             if cached is not None:
@@ -659,6 +672,12 @@ class CompilerSession:
                 # (subset of "misses"; only the structural tail ran)
                 "instantiations": self.instantiations,
                 "templates": len(self._templates),
+                # fused loop replay across this session's runs: iterations
+                # recorded, iterations replayed from a warm trace, and
+                # traces invalidated by branch/mapping divergence
+                "loop_traces_recorded": self.loop_traces_recorded,
+                "loop_replays": self.loop_replays,
+                "loop_invalidations": self.loop_invalidations,
             }
 
     # -- execution ---------------------------------------------------------
@@ -677,13 +696,17 @@ class CompilerSession:
         machine: "Machine | None" = None,
         check_invariants: bool = False,
         dtype=None,
+        fuse_loops: bool = True,
     ) -> "ExecutionResult":
         """Compile (cached) and execute in one call.
 
         ``bindings`` serve double duty, as compile-time extents and runtime
         loop bounds, matching the established harness convention.  The
         returned :class:`ExecutionResult` carries the machine (and its
-        traffic stats) used for the run.
+        traffic stats) used for the run.  ``fuse_loops`` opts the run out
+        of fused loop replay (:mod:`repro.runtime.fusion`) when ``False``;
+        the session's :attr:`stats` accumulate the fusion counters either
+        way.
         """
         import numpy as np
 
@@ -699,5 +722,11 @@ class CompilerSession:
             inputs=inputs or {},
             check_invariants=check_invariants,
             dtype=np.float64 if dtype is None else dtype,
+            fuse_loops=fuse_loops,
         )
-        return execute(compiled, entry=entry, machine=machine, env=env)
+        result = execute(compiled, entry=entry, machine=machine, env=env)
+        with self._lock:
+            self.loop_traces_recorded += result.fusion.traces_recorded
+            self.loop_replays += result.fusion.replays
+            self.loop_invalidations += result.fusion.invalidations
+        return result

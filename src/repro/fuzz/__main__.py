@@ -1,0 +1,6 @@
+"""``python -m repro.fuzz`` -- see :mod:`repro.fuzz.cli`."""
+
+from repro.fuzz.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Command-line fuzz campaigns: ``python -m repro.fuzz``.
+
+Runs generated cases through the differential oracle until the program
+count or the time budget runs out, shrinking and pinning every failure.
+
+Exit codes follow CI conventions: ``0`` -- every case survived the
+oracle, ``1`` -- at least one finding (shrunk counter-examples were
+pinned if ``--pin-dir`` was given), ``2`` -- infrastructure error (the
+fuzzer itself crashed; no verdict on the compiler).
+
+The ``fuzz-smoke`` CI leg runs::
+
+    python -m repro.fuzz --profile fuzz-smoke --matrix smoke \
+        --time-budget 120 --corpus tests/fuzz_corpus --pin-dir fuzz-findings
+
+which replays the pinned corpus first (a regression there fails fast)
+and then explores fresh seeds for the remaining budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+
+from repro.fuzz.corpus import load_corpus, pin_case
+from repro.fuzz.generator import FuzzSpec, generate_case
+from repro.fuzz.oracle import OracleConfig, run_oracle
+from repro.fuzz.profiles import DEFAULT_PROFILE, PROFILES
+from repro.fuzz.shrink import shrink_case
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the remapping compiler",
+    )
+    p.add_argument(
+        "--programs", type=int, default=200, help="number of fresh cases to generate"
+    )
+    p.add_argument("--seed", type=int, default=0, help="first generator seed")
+    p.add_argument(
+        "--matrix",
+        choices=("full", "smoke"),
+        default="full",
+        help="oracle matrix slice: full (64 cells) or smoke (12 cells)",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop generating new cases after this many seconds",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="replay this pinned corpus before exploring fresh seeds",
+    )
+    p.add_argument(
+        "--pin-dir",
+        default=None,
+        metavar="DIR",
+        help="write shrunk counter-examples here",
+    )
+    p.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default=DEFAULT_PROFILE,
+        help="settings profile (shared with the Hypothesis test legs); "
+        "non-derandomized profiles offset seeds by wall-clock",
+    )
+    p.add_argument(
+        "--shrink-attempts",
+        type=int,
+        default=60,
+        help="oracle runs the shrinker may spend per failure",
+    )
+    return p
+
+
+def _report(findings, label: str) -> None:
+    print(f"FAIL {label}: {len(findings)} finding(s)")
+    for f in findings:
+        print(f"  {f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = OracleConfig.full() if args.matrix == "full" else OracleConfig.smoke()
+    start = time.monotonic()
+    seed0 = args.seed
+    if not PROFILES[args.profile].get("derandomize", True):
+        # the random profile explores genuinely fresh seeds each run
+        seed0 = args.seed + int(time.time()) % 1_000_003
+
+    def out_of_budget() -> bool:
+        return (
+            args.time_budget is not None
+            and time.monotonic() - start >= args.time_budget
+        )
+
+    try:
+        failures = 0
+        # 1. corpus replay: pinned regressions must stay fixed
+        if args.corpus:
+            for entry in load_corpus(args.corpus):
+                findings = run_oracle(entry.to_case(), config)
+                if findings:
+                    _report(findings, f"corpus {entry.name}")
+                    failures += 1
+            print(
+                f"corpus: replayed {len(load_corpus(args.corpus))} entries, "
+                f"{failures} regression(s)"
+            )
+        # 2. fresh exploration
+        explored = 0
+        spec = FuzzSpec()
+        for i in range(args.programs):
+            if out_of_budget():
+                break
+            seed = seed0 + i
+            case = generate_case(seed, spec)
+            findings = run_oracle(case, config)
+            explored += 1
+            if not findings:
+                continue
+            failures += 1
+            _report(findings, f"seed {seed}")
+            shrunk, shrunk_findings = shrink_case(
+                case, config, max_attempts=args.shrink_attempts
+            )
+            if args.pin_dir and shrunk_findings:
+                path = pin_case(shrunk, shrunk_findings, args.pin_dir)
+                print(f"  pinned shrunk counter-example: {path}")
+        elapsed = time.monotonic() - start
+        print(
+            f"fuzz: {explored} case(s) explored in {elapsed:.1f}s "
+            f"({args.matrix} matrix), {failures} failure(s)"
+        )
+        return 1 if failures else 0
+    except Exception:  # noqa: BLE001 - infra failure, not a compiler verdict
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""The pinned regression corpus: shrunk counter-examples as JSON files.
+
+Every program the fuzzer ever shrank to a minimal counter-example is
+pinned here as a small JSON document -- printed source, bindings,
+condition outcomes, the input seed, and the finding kinds it originally
+produced.  ``tests/test_fuzz_corpus.py`` replays every entry through the
+full oracle matrix and asserts the *fixed* compiler reports nothing, the
+same way workload seed 2558 is pinned in ``tests/test_cost_guard.py``.
+
+Entries are self-contained and deterministic: initial array values are
+re-derived from the pinned seed (matching
+:func:`repro.fuzz.generator.case_inputs`), never stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fuzz.generator import FuzzCase, case_inputs
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned counter-example, as stored on disk."""
+
+    name: str
+    source: str
+    bindings: dict[str, int]
+    conditions: dict[str, object]
+    seed: int
+    #: finding kinds the case produced when it was pinned (historical)
+    kinds: tuple[str, ...] = ()
+    #: feature tags for coverage bookkeeping (e.g. "zero-trip-loop")
+    covers: tuple[str, ...] = ()
+    note: str = ""
+
+    def to_case(self) -> FuzzCase:
+        """Rebuild the executable case (inputs re-derived from the seed)."""
+        program = parse_program(self.source)
+        case = FuzzCase(
+            program=program,
+            bindings=dict(self.bindings),
+            conditions={
+                k: (v if isinstance(v, bool) else [bool(x) for x in v])
+                for k, v in self.conditions.items()
+            },
+            inputs={},
+            seed=self.seed,
+        )
+        case.inputs = case_inputs(self.seed, case.arrays, self.bindings.get("n", 16))
+        return case
+
+
+def entry_from_case(
+    case: FuzzCase,
+    kinds: tuple[str, ...] = (),
+    covers: tuple[str, ...] = (),
+    note: str = "",
+) -> CorpusEntry:
+    """Serialize a case into a corpus entry (content-addressed name)."""
+    source = print_program(case.program)
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    return CorpusEntry(
+        name=f"fuzz-{digest}",
+        source=source,
+        bindings=dict(case.bindings),
+        conditions=dict(case.conditions),
+        seed=case.seed,
+        kinds=tuple(kinds),
+        covers=tuple(covers),
+        note=note,
+    )
+
+
+def pin_case(
+    case: FuzzCase,
+    findings,
+    directory: str | Path,
+    covers: tuple[str, ...] = (),
+    note: str = "",
+) -> Path:
+    """Write a shrunk case into ``directory``; returns the file path."""
+    entry = entry_from_case(
+        case,
+        kinds=tuple(sorted({f.kind for f in findings})),
+        covers=covers,
+        note=note,
+    )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(
+        json.dumps(dataclasses.asdict(entry), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_corpus(directory: str | Path) -> list[CorpusEntry]:
+    """Every entry in ``directory``, sorted by name (deterministic order)."""
+    directory = Path(directory)
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        entries.append(
+            CorpusEntry(
+                name=data["name"],
+                source=data["source"],
+                bindings={k: int(v) for k, v in data["bindings"].items()},
+                conditions=data["conditions"],
+                seed=int(data["seed"]),
+                kinds=tuple(data.get("kinds", ())),
+                covers=tuple(data.get("covers", ())),
+                note=data.get("note", ""),
+            )
+        )
+    return entries

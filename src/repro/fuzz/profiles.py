@@ -1,0 +1,62 @@
+"""The single Hypothesis-profile registry for every test and fuzz leg.
+
+Three consumers share these settings -- ``tests/conftest.py`` (tier-1
+suite), the CI ``tests-random`` leg, and the ``fuzz-smoke`` leg driven
+by ``python -m repro.fuzz`` -- and they used to configure Hypothesis
+independently, which let deadlines and derandomization drift apart.
+Now everything goes through :data:`PROFILES`; select with the
+``HYPOTHESIS_PROFILE`` environment variable.
+
+History: the deterministic default originally *hid* a real violation --
+workload seed 2558 made level-3 motion emit 672 B where naive emits
+576 B.  The cost guard on the motion pass (``repro/remap/costguard.py``)
+fixed the heuristic, seed 2558 is pinned in ``tests/test_cost_guard.py``
+(and the fuzzer's teeth test re-opens the hole on purpose; see
+``tests/test_fuzz.py``), and the monotonicity property was verified
+exhaustively on seeds 0..10000.  Derandomization is now purely about
+reproducible CI runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Profile name -> Hypothesis ``settings`` kwargs.  ``deterministic``
+#: replays the same examples every run (the tier-1 default), ``random``
+#: explores genuinely fresh examples (the CI ``tests-random`` leg), and
+#: ``fuzz-smoke`` is the time-boxed CI fuzz leg: deterministic, no
+#: per-example deadline (a full oracle matrix outlives the default).
+PROFILES: dict[str, dict[str, object]] = {
+    "deterministic": {"derandomize": True},
+    "random": {"derandomize": False},
+    "fuzz-smoke": {"derandomize": True, "deadline": None, "max_examples": 25},
+}
+
+DEFAULT_PROFILE = "deterministic"
+
+
+def register_profiles() -> None:
+    """Register every profile with Hypothesis (idempotent)."""
+    from hypothesis import settings
+
+    for name, kwargs in PROFILES.items():
+        settings.register_profile(name, **kwargs)
+
+
+def load_profile_from_env(default: str = DEFAULT_PROFILE) -> str:
+    """Register all profiles, load ``$HYPOTHESIS_PROFILE`` (or ``default``).
+
+    Returns the name loaded.  Unknown names raise ``KeyError`` eagerly --
+    a CI leg asking for a profile that does not exist should fail loudly,
+    not silently fall back.
+    """
+    from hypothesis import settings
+
+    register_profiles()
+    name = os.environ.get("HYPOTHESIS_PROFILE", default)
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown HYPOTHESIS_PROFILE {name!r}; known: {sorted(PROFILES)}"
+        )
+    settings.load_profile(name)
+    return name

@@ -62,6 +62,9 @@ def _specs() -> tuple[MetricSpec, ...]:
         MetricSpec("repro.runtime.remaps_skipped", c, "Remap statements skipped (dead/unneeded)."),
         MetricSpec("repro.runtime.plans_built", c, "CommPlans built at execution time (overlay misses)."),
         MetricSpec("repro.runtime.plans_reused", c, "CommPlans replayed from precompiled tables."),
+        MetricSpec("repro.runtime.loop_traces_recorded", c, "Loop iterations recorded for fused replay."),
+        MetricSpec("repro.runtime.loop_replays", c, "Loop iterations replayed from a fused trace."),
+        MetricSpec("repro.runtime.loop_invalidations", c, "Fused loop traces invalidated by divergence."),
         # -- drift monitor ----------------------------------------------------
         MetricSpec("repro.drift.remaps_checked", c, "Executed remaps compared against predictions."),
         MetricSpec("repro.drift.byte_mismatches", c, "Remaps whose observed bytes differed from predicted."),

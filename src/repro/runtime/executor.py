@@ -80,12 +80,26 @@ from repro.remap.codegen import (
     RuntimeOp,
     SaveStatusOp,
 )
+from repro.runtime.fusion import (
+    FusionStats,
+    LoopTrace,
+    PreparedPlanRemap,
+    PreparedRedist,
+    PreparedRemap,
+    prepare_redist,
+    run_fused_loop,
+)
 from repro.runtime.memory import MemoryManager
 from repro.runtime.status import ArrayRuntime
 from repro.spmd.cost import TrafficEstimate
 from repro.spmd.machine import Machine
-from repro.spmd.redistribution import redistribute
-from repro.spmd.schedule import CommPlanTable, execute_comm_schedule
+from repro.spmd.redistribution import build_schedule, execute_schedule
+from repro.spmd.schedule import (
+    CommPlanTable,
+    execute_comm_schedule,
+    execute_prepared_schedule,
+    prepare_comm_schedule,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +183,10 @@ class ExecutionEnv:
     inputs: dict[str, np.ndarray] = field(default_factory=dict)
     check_invariants: bool = False
     dtype: np.dtype | type = np.float64
+    #: record-then-replay fused execution of DO loops (see
+    #: :mod:`repro.runtime.fusion`); semantics-preserving, on by default,
+    #: ignored when the machine enforces a memory limit
+    fuse_loops: bool = True
 
     def __post_init__(self) -> None:
         self._cond_iters: dict[str, Iterator] = {}
@@ -219,6 +237,9 @@ class ExecutionResult:
         #: aggregate predicted-vs-observed drift over the run's scheduled
         #: remaps (see :mod:`repro.obs.drift`); clean when nothing drifted
         self.drift = executor.drift.stats
+        #: fused-loop record/replay counters for the run
+        #: (see :class:`repro.runtime.fusion.FusionStats`)
+        self.fusion = executor.fusion
 
     def value(self, name: str) -> np.ndarray:
         state = self._frame.arrays[name]
@@ -315,6 +336,14 @@ class Executor:
         )
         # per-run predicted-vs-observed accounting for scheduled remaps
         self.drift = DriftMonitor()
+        # fused loop replay (repro.runtime.fusion): traces per Do statement,
+        # a capture slot the recorder arms around remap execution, and the
+        # run's record/replay/invalidation counters.  Disabled under a
+        # memory limit: eviction makes per-iteration state non-deterministic.
+        self.fusion = FusionStats()
+        self._loop_traces: dict[int, LoopTrace] = {}
+        self._capture: list[PreparedRemap] | None = None
+        self._fuse = self.env.fuse_loops and self.machine.memory_limit is None
 
     # -- memory ----------------------------------------------------------------
 
@@ -348,6 +377,11 @@ class Executor:
         compiled = self.compiled.get(sub_name)
         stats = self.machine.stats
         before = stats.snapshot()
+        fusion_before = (
+            self.fusion.traces_recorded,
+            self.fusion.replays,
+            self.fusion.invalidations,
+        )
         t0 = time.perf_counter()
         with _TRACER.span("executor.run", sub=sub_name):
             frame = self._enter_frame(compiled, args=None, caller=None)
@@ -373,6 +407,22 @@ class Executor:
         )
         if skipped:
             _OBS.counter("repro.runtime.remaps_skipped").inc(skipped)
+        fusion_after = (
+            self.fusion.traces_recorded,
+            self.fusion.replays,
+            self.fusion.invalidations,
+        )
+        for metric, b, a in zip(
+            (
+                "repro.runtime.loop_traces_recorded",
+                "repro.runtime.loop_replays",
+                "repro.runtime.loop_invalidations",
+            ),
+            fusion_before,
+            fusion_after,
+        ):
+            if a - b:
+                _OBS.counter(metric).inc(a - b)
         return ExecutionResult(self, frame)
 
     # -- frames ----------------------------------------------------------------------
@@ -419,7 +469,7 @@ class Executor:
 
     # -- ops ---------------------------------------------------------------------------
 
-    def _exec_ops(self, frame: _Frame, ops: list[RuntimeOp]) -> None:
+    def _exec_ops(self, frame: _Frame, ops: Sequence[RuntimeOp]) -> None:
         for op in ops:
             if isinstance(op, RemapOp):
                 self._exec_remap(
@@ -479,6 +529,7 @@ class Executor:
         dead_values: bool,
         check_status: bool,
         tag: str,
+        hints: dict[int, PreparedRemap] | None = None,
     ) -> None:
         stats = self.machine.stats
         if check_status:
@@ -505,7 +556,13 @@ class Executor:
                     # materialized at its first remapping (paper Sec. 5.2)
                     stats.remaps_dead_copy += 1
                 else:
-                    self._remap_copy(state, src, leaving, tag)
+                    self._remap_copy(
+                        state,
+                        src,
+                        leaving,
+                        tag,
+                        prepared=hints.get(src) if hints else None,
+                    )
                     stats.remaps_performed += 1
                 state.live[leaving] = True
             state.status = leaving
@@ -527,16 +584,68 @@ class Executor:
                 )
 
     def _remap_copy(
-        self, state: ArrayRuntime, src: int, leaving: int, tag: str
+        self,
+        state: ArrayRuntime,
+        src: int,
+        leaving: int,
+        tag: str,
+        prepared: PreparedRemap | None = None,
     ) -> None:
-        """Move the data of one remapping copy, scheduled when opted in."""
+        """Move the data of one remapping copy, scheduled when opted in.
+
+        ``prepared`` is a fused-replay hint recorded for exactly this
+        (array, source version, target version) copy: its schedule/plan,
+        messages and cost numbers are memoized, so replaying it moves the
+        same data with the same machine accounting minus the construction
+        work (see :mod:`repro.runtime.fusion`).  When the recorder has
+        armed ``self._capture``, the freshly built schedule or plan is
+        captured as a new hint instead.
+        """
         source, target = state.insts[src], state.insts[leaving]
         assert source is not None and target is not None
         if self.policy is None:
-            redistribute(source, target, self.machine, tag=tag)
+            if isinstance(prepared, PreparedRedist):
+                prepared.execute(source, target, self.machine)
+                return
+            sched = build_schedule(source.layout, target.layout)
+            execute_schedule(sched, source, target, self.machine, tag=tag)
+            if self._capture is not None:
+                itemsize = np.dtype(self.env.dtype).itemsize
+                self._capture.append(
+                    prepare_redist(
+                        src,
+                        sched,
+                        source.layout,
+                        target.layout,
+                        target.name,
+                        itemsize,
+                        tag,
+                    )
+                )
             return
         assert self._plan_overlay is not None
         stats = self.machine.stats
+        itemsize = np.dtype(self.env.dtype).itemsize
+        if isinstance(prepared, PreparedPlanRemap):
+            comm = prepared.comm
+            stats.plans_reused += 1
+            bytes_before = stats.bytes
+            messages_before = stats.messages
+            makespan_before = self.machine.phase_seconds
+            with _TRACER.span("remap.plan_replay", tag=tag, reused=True, fused=True):
+                execute_prepared_schedule(comm, source, target, self.machine)
+            self.drift.record(
+                DriftRecord(
+                    tag=tag,
+                    predicted_bytes=comm.predicted_bytes,
+                    observed_bytes=stats.bytes - bytes_before,
+                    predicted_messages=comm.predicted_messages,
+                    observed_messages=stats.messages - messages_before,
+                    predicted_makespan=comm.predicted_makespan,
+                    observed_makespan=self.machine.phase_seconds - makespan_before,
+                )
+            )
+            return
         src_mapping = state.versions[src]
         dst_mapping = state.versions[leaving]
         plan = self.plans.lookup(src_mapping, dst_mapping) if self.plans else None
@@ -549,7 +658,6 @@ class Executor:
         else:
             stats.plans_reused += 1
             reused = True
-        itemsize = np.dtype(self.env.dtype).itemsize
         bytes_before = stats.bytes
         messages_before = stats.messages
         makespan_before = self.machine.phase_seconds
@@ -566,6 +674,21 @@ class Executor:
                 observed_makespan=self.machine.phase_seconds - makespan_before,
             )
         )
+        if self._capture is not None:
+            self._capture.append(
+                PreparedPlanRemap(
+                    src,
+                    prepare_comm_schedule(
+                        plan,
+                        source.layout,
+                        target.layout,
+                        target.name,
+                        itemsize,
+                        self.machine.cost,
+                        tag,
+                    ),
+                )
+            )
 
     # -- statements -------------------------------------------------------------------------
 
@@ -584,6 +707,16 @@ class Executor:
     def _exec_stmt(self, frame: _Frame, stmt: Stmt) -> None:
         code = frame.compiled.code
         self._exec_ops(frame, code.ops_for(stmt))
+        self._exec_stmt_core(frame, stmt)
+        self._exec_ops(frame, code.ops_after(stmt))
+
+    def _exec_stmt_core(self, frame: _Frame, stmt: Stmt) -> None:
+        """One statement without its surrounding generated ops.
+
+        Split out of :meth:`_exec_stmt` so fused loop replay
+        (:mod:`repro.runtime.fusion`) can record the ops separately and
+        still drive nested loops and calls through the interpreter.
+        """
         if isinstance(stmt, Compute):
             self._exec_compute(frame, stmt)
         elif isinstance(stmt, (Realign, Redistribute, Kill)):
@@ -598,12 +731,17 @@ class Executor:
         elif isinstance(stmt, Do):
             lo = self._resolve_extent(frame, stmt.lo)
             hi = self._resolve_extent(frame, stmt.hi)
-            for i in range(lo, hi + 1):
-                frame.loops[stmt.var] = i
-                self._exec_block(frame, stmt.body)
+            # with >= 3 trips there is at least one replay after the two
+            # recording iterations, so fusion can pay off; shorter loops
+            # (and runs that opted out) take the plain interpreter
+            if self._fuse and hi - lo >= 2:
+                run_fused_loop(self, frame, stmt, lo, hi)
+            else:
+                for i in range(lo, hi + 1):
+                    frame.loops[stmt.var] = i
+                    self._exec_block(frame, stmt.body)
         else:  # pragma: no cover - defensive
             raise TypeError(stmt)
-        self._exec_ops(frame, code.ops_after(stmt))
 
     def _exec_compute(self, frame: _Frame, stmt: Compute) -> None:
         ann = frame.compiled.stmt_versions.get(id(stmt), {})

@@ -1,0 +1,414 @@
+"""Fused loop replay: record a loop body once, replay it as prepared plans.
+
+The executor interprets a ``DO`` loop's body statement by statement: every
+iteration pays the generated-op table lookups, the remap decision chain,
+the communication-plan lookup (two mapping signatures), message
+construction and the cost-model phase arithmetic -- even though, at steady
+state, every iteration performs exactly the same remapping copies over the
+same mapping versions.  This module implements the trace-and-replay half
+of the ROADMAP's loop-execution item: the executor *records* the body's
+op/remap sequence while interpreting it, then *replays* the recording as
+one fused sequence of :class:`PreparedRemap` steps for the remaining
+trips.
+
+Semantics are preserved exactly -- bit-identical values, bytes, messages
+and traffic-stat accounting -- because a recorded step is never trusted
+beyond what is re-checked at replay time:
+
+* every remap step re-runs the full remap *decision* chain
+  (:meth:`Executor._exec_remap`) against the live runtime state; only the
+  expensive *derived* artifacts (the redistribution schedule or comm plan,
+  prebuilt messages, precomputed phase durations and drift predictions)
+  are memoized, keyed by the source version actually being copied from;
+* branch steps re-evaluate their condition; a diverging outcome executes
+  the actual arm through the ordinary interpreter and **invalidates** the
+  trace (it is re-recorded on the next iteration);
+* a remap whose source version diverges from every memoized plan falls
+  back to the ordinary path and likewise invalidates the trace;
+* nested loops and calls are replayed through the ordinary interpreter
+  (nested ``DO`` loops fuse independently with their own traces).
+
+Fusion is an executor-local optimization: it is on by default
+(:attr:`~repro.runtime.executor.ExecutionEnv.fuse_loops`), disabled
+automatically when the machine has a memory limit (eviction makes the
+per-iteration state non-deterministic), and never touches the shared
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lang.ast_nodes import Block, Compute, Do, If, Kill, Realign, Redistribute
+from repro.obs.trace import TRACER as _TRACER
+from repro.remap.codegen import RemapOp, RuntimeOp
+from repro.spmd.message import Message
+from repro.spmd.redistribution import PreparedMove, RedistSchedule, prepare_move
+from repro.spmd.schedule import PreparedComm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.lang.ast_nodes import Stmt
+    from repro.mapping.ownership import Layout
+    from repro.runtime.executor import Executor, _Frame
+    from repro.spmd.darray import DistributedArray
+    from repro.spmd.machine import Machine
+
+
+# ---------------------------------------------------------------------------
+# prepared remapping copies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PreparedRedist:
+    """An unscheduled remapping copy with schedule, positions and messages
+    prebuilt.
+
+    Replaying one skips :func:`~repro.spmd.redistribution.build_schedule`,
+    the per-transfer index arithmetic and the
+    :class:`~repro.spmd.message.Message` construction; the data movement
+    and machine accounting are identical to
+    :func:`~repro.spmd.redistribution.execute_schedule`.
+    """
+
+    src: int
+    schedule: RedistSchedule
+    moves: tuple[tuple[PreparedMove, Message], ...]
+
+    def execute(
+        self,
+        source: "DistributedArray",
+        target: "DistributedArray",
+        machine: "Machine",
+    ) -> None:
+        """Move the data and charge the machine, transfer by transfer."""
+        for pm, msg in self.moves:
+            pm.execute(source, target)
+            machine.transfer(msg)
+
+
+@dataclass(frozen=True)
+class PreparedPlanRemap:
+    """A scheduled remapping copy specialized down to its prepared phases."""
+
+    src: int
+    comm: PreparedComm
+
+
+PreparedRemap = PreparedRedist | PreparedPlanRemap
+"""Either flavour of memoized remapping copy (see the two dataclasses)."""
+
+
+def prepare_redist(
+    src: int,
+    schedule: RedistSchedule,
+    src_layout: "Layout",
+    dst_layout: "Layout",
+    array: str,
+    itemsize: int,
+    tag: str,
+) -> PreparedRedist:
+    """Prebuild the per-transfer moves and messages of an unscheduled copy."""
+    moves = tuple(
+        (
+            prepare_move(t, src_layout, dst_layout),
+            Message(
+                src=t.src_rank,
+                dst=t.dst_rank,
+                nbytes=t.elements * itemsize,
+                elements=t.elements,
+                array=array,
+                tag=tag,
+            ),
+        )
+        for t in schedule.transfers
+        if t.elements > 0
+    )
+    return PreparedRedist(src, schedule, moves)
+
+
+# ---------------------------------------------------------------------------
+# trace steps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StepOps:
+    """A run of non-remap generated ops, replayed through ``_exec_ops``."""
+
+    ops: tuple[RuntimeOp, ...]
+
+    def replay(self, ex: "Executor", frame: "_Frame") -> bool:
+        ex._exec_ops(frame, self.ops)
+        return True
+
+
+@dataclass
+class _StepRemap:
+    """One ``RemapOp`` with memoized plans keyed by observed source version.
+
+    The remap decision chain runs in full at replay; the hint only short-
+    circuits plan construction when the copy's source version matches one
+    recorded earlier.  A copy from an unseen source falls back to the
+    ordinary path and invalidates the trace (returning ``False``) so the
+    next recording captures the new steady state; hints survive
+    re-recording (:func:`record_iteration` inherits them), so loops that
+    alternate between a small set of mapping versions still converge to
+    fully-prepared replays.
+    """
+
+    op: RemapOp
+    hints: dict[int, PreparedRemap]
+
+    def replay(self, ex: "Executor", frame: "_Frame") -> bool:
+        cap: list[PreparedRemap] = []
+        ex._capture = cap
+        try:
+            ex._exec_remap(
+                frame,
+                frame.arrays[self.op.array],
+                leaving=self.op.leaving,
+                use=self.op.use,
+                keep=self.op.keep,
+                dead_values=self.op.dead_values,
+                check_status=self.op.check_status,
+                tag=self.op.label,
+                hints=self.hints,
+            )
+        finally:
+            ex._capture = None
+        if cap:  # a copy ran from a source no hint covered: learn + invalidate
+            self.hints[cap[0].src] = cap[0]
+            ex.fusion.fallback_remaps += 1
+            return False
+        return True
+
+
+@dataclass
+class _StepCompute:
+    """A compute statement; the kernel itself is always executed live."""
+
+    stmt: Compute
+
+    def replay(self, ex: "Executor", frame: "_Frame") -> bool:
+        ex._exec_compute(frame, self.stmt)
+        return True
+
+
+@dataclass
+class _StepIf:
+    """A branch with its recorded outcome, arm steps and join-point steps.
+
+    The condition is re-evaluated every replay (consuming the environment's
+    condition sequence exactly like the interpreter).  On the recorded
+    outcome the arm replays fused; on divergence the actual arm runs
+    through the ordinary interpreter and the step reports ``False`` so the
+    caller invalidates the trace.  The join-point ops after the branch are
+    replayed either way -- they are correct for both arms by construction
+    (that is what the resolver's merge remaps are for).
+    """
+
+    stmt: If
+    expected: bool
+    arm: list["TraceStep"]
+    after: list["TraceStep"]
+
+    def replay(self, ex: "Executor", frame: "_Frame") -> bool:
+        actual = ex.env.condition(self.stmt.cond)
+        if actual == self.expected:
+            ok = _replay_steps(ex, frame, self.arm)
+        else:
+            ex._exec_block(frame, self.stmt.then if actual else self.stmt.orelse)
+            ok = False
+        return _replay_steps(ex, frame, self.after) and ok
+
+
+@dataclass
+class _StepDynamic:
+    """A nested loop or call, replayed through the ordinary interpreter.
+
+    Nested ``DO`` loops fuse independently (their traces key on the inner
+    statement), so an outer replay still drives inner fused replays.
+    """
+
+    stmt: "Stmt"
+
+    def replay(self, ex: "Executor", frame: "_Frame") -> bool:
+        ex._exec_stmt_core(frame, self.stmt)
+        return True
+
+
+TraceStep = _StepOps | _StepRemap | _StepCompute | _StepIf | _StepDynamic
+"""The step alphabet of a recorded loop iteration."""
+
+
+@dataclass
+class LoopTrace:
+    """One loop's recorded iteration: a step tree plus remap-hint memory."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+    #: hints per RemapOp identity, inherited across re-recordings so plans
+    #: learned before an invalidation are not thrown away
+    remap_hints: dict[int, dict[int, PreparedRemap]] = field(default_factory=dict)
+    #: a trace only replays once it has been recorded at steady state
+    #: (i.e. re-recorded on the iteration after its first recording)
+    warm: bool = False
+
+
+@dataclass
+class FusionStats:
+    """Per-run counters of the fused-replay machinery (see ``obs`` too)."""
+
+    traces_recorded: int = 0
+    replays: int = 0
+    invalidations: int = 0
+    fallback_remaps: int = 0
+
+
+# ---------------------------------------------------------------------------
+# recording
+# ---------------------------------------------------------------------------
+
+
+def _record_ops(
+    ex: "Executor",
+    frame: "_Frame",
+    ops: list[RuntimeOp],
+    sink: list[TraceStep],
+    trace: LoopTrace,
+) -> None:
+    run: list[RuntimeOp] = []
+    for op in ops:
+        if isinstance(op, RemapOp):
+            if run:
+                ex._exec_ops(frame, run)
+                sink.append(_StepOps(tuple(run)))
+                run = []
+            hints = dict(trace.remap_hints.get(id(op), {}))
+            cap: list[PreparedRemap] = []
+            ex._capture = cap
+            try:
+                ex._exec_remap(
+                    frame,
+                    frame.arrays[op.array],
+                    leaving=op.leaving,
+                    use=op.use,
+                    keep=op.keep,
+                    dead_values=op.dead_values,
+                    check_status=op.check_status,
+                    tag=op.label,
+                    hints=hints,
+                )
+            finally:
+                ex._capture = None
+            if cap:
+                hints[cap[0].src] = cap[0]
+            trace.remap_hints[id(op)] = hints
+            sink.append(_StepRemap(op, hints))
+        else:
+            run.append(op)
+    if run:
+        ex._exec_ops(frame, run)
+        sink.append(_StepOps(tuple(run)))
+
+
+def _record_stmt(
+    ex: "Executor",
+    frame: "_Frame",
+    stmt: "Stmt",
+    sink: list[TraceStep],
+    trace: LoopTrace,
+) -> None:
+    code = frame.compiled.code
+    _record_ops(ex, frame, code.ops_for(stmt), sink, trace)
+    if isinstance(stmt, Compute):
+        ex._exec_compute(frame, stmt)
+        sink.append(_StepCompute(stmt))
+    elif isinstance(stmt, (Realign, Redistribute, Kill)):
+        pass  # fully handled by the generated ops
+    elif isinstance(stmt, If):
+        taken = ex.env.condition(stmt.cond)
+        arm: list[TraceStep] = []
+        _record_block(ex, frame, stmt.then if taken else stmt.orelse, arm, trace)
+        after: list[TraceStep] = []
+        _record_ops(ex, frame, code.ops_after(stmt), after, trace)
+        sink.append(_StepIf(stmt, taken, arm, after))
+        return  # join-point ops consumed by the branch step
+    else:  # nested Do / Call: interpreted, not flattened
+        ex._exec_stmt_core(frame, stmt)
+        sink.append(_StepDynamic(stmt))
+    _record_ops(ex, frame, code.ops_after(stmt), sink, trace)
+
+
+def _record_block(
+    ex: "Executor",
+    frame: "_Frame",
+    block: Block,
+    sink: list[TraceStep],
+    trace: LoopTrace,
+) -> None:
+    for stmt in block.stmts:
+        _record_stmt(ex, frame, stmt, sink, trace)
+
+
+def record_iteration(
+    ex: "Executor", frame: "_Frame", body: Block, prev: LoopTrace | None
+) -> LoopTrace:
+    """Execute one loop iteration while recording it as a step tree.
+
+    ``prev`` is the trace being superseded (if any); its remap hints are
+    inherited so plans learned before an invalidation keep paying off.
+    """
+    trace = LoopTrace()
+    if prev is not None:
+        trace.remap_hints = {k: dict(v) for k, v in prev.remap_hints.items()}
+    _record_block(ex, frame, body, trace.steps, trace)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+def _replay_steps(
+    ex: "Executor", frame: "_Frame", steps: list[TraceStep]
+) -> bool:
+    ok = True
+    for step in steps:
+        if not step.replay(ex, frame):
+            ok = False
+    return ok
+
+
+def run_fused_loop(
+    ex: "Executor", frame: "_Frame", stmt: Do, lo: int, hi: int
+) -> None:
+    """Drive one ``DO`` loop with record-then-replay iteration handling.
+
+    Iteration 1 records cold, iteration 2 re-records (capturing the steady
+    state the first iteration's bootstrap copies perturb), and iterations
+    3..t replay the warm trace.  A divergence -- branch outcome flip or a
+    remap copying from an unrecorded source version -- completes the
+    iteration correctly, invalidates the trace, and recording starts over
+    on the next iteration.
+    """
+    traces = ex._loop_traces
+    key = id(stmt)
+    for i in range(lo, hi + 1):
+        frame.loops[stmt.var] = i
+        trace = traces.get(key)
+        if trace is not None and trace.warm:
+            with _TRACER.span("loop.replay", var=stmt.var, index=i):
+                ok = _replay_steps(ex, frame, trace.steps)
+            if ok:
+                ex.fusion.replays += 1
+            else:
+                del traces[key]
+                ex.fusion.invalidations += 1
+            continue
+        new = record_iteration(ex, frame, stmt.body, trace)
+        new.warm = trace is not None
+        traces[key] = new
+        ex.fusion.traces_recorded += 1

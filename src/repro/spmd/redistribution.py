@@ -138,6 +138,43 @@ def move_transfer(
     target.blocks[t.dst_rank][np.ix_(*dst_pos)] = data
 
 
+@dataclass(frozen=True)
+class PreparedMove:
+    """:func:`move_transfer` with its index arithmetic hoisted out.
+
+    Built once by :func:`prepare_move` from the *same* layout coordinates
+    and :func:`~repro.spmd.darray.positions_in` arithmetic the live path
+    runs per call, then replayed as one numpy fancy-index assignment per
+    execution (fused loop replay, :mod:`repro.runtime.fusion`).  Positions
+    depend only on the two layouts, which are fixed per mapping version,
+    so a prepared move stays exact even when the destination storage is
+    freed and reallocated between iterations.
+    """
+
+    src_rank: int
+    dst_rank: int
+    src_ix: tuple[np.ndarray, ...]
+    dst_ix: tuple[np.ndarray, ...]
+
+    def execute(self, source: DistributedArray, target: DistributedArray) -> None:
+        """The same assignment :func:`move_transfer` performs."""
+        target.blocks[self.dst_rank][self.dst_ix] = source.blocks[self.src_rank][
+            self.src_ix
+        ]
+
+
+def prepare_move(t: Transfer, src_lay: Layout, dst_lay: Layout) -> PreparedMove:
+    """Precompute one transfer's block positions for fused replay."""
+    qs = src_lay.procs.coords(t.src_rank)
+    qd = dst_lay.procs.coords(t.dst_rank)
+    src_owned = src_lay.owned(qs)
+    dst_owned = dst_lay.owned(qd)
+    assert src_owned is not None and dst_owned is not None
+    src_pos = tuple(positions_in(o, s) for o, s in zip(src_owned, t.index_sets))
+    dst_pos = tuple(positions_in(o, s) for o, s in zip(dst_owned, t.index_sets))
+    return PreparedMove(t.src_rank, t.dst_rank, np.ix_(*src_pos), np.ix_(*dst_pos))
+
+
 def execute_schedule(
     schedule: RedistSchedule,
     source: DistributedArray,

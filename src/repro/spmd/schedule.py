@@ -53,17 +53,19 @@ from dataclasses import dataclass, field
 
 from repro.errors import ArtifactFrozenError, ScheduleError
 from repro.mapping.mapping import Mapping
-from repro.mapping.ownership import layout_of
+from repro.mapping.ownership import Layout, layout_of
 from repro.obs.trace import TRACER as _TRACER
 from repro.spmd.cost import CostModel
 from repro.spmd.darray import DistributedArray
 from repro.spmd.machine import Machine
 from repro.spmd.message import Message, check_one_port
 from repro.spmd.redistribution import (
+    PreparedMove,
     RedistSchedule,
     Transfer,
     build_schedule,
     move_transfer,
+    prepare_move,
 )
 
 #: Recognized scheduling policies, cheapest machinery first.
@@ -306,6 +308,136 @@ def plan_redistribution(
     return build_comm_schedule(
         build_schedule(layout_of(src), layout_of(dst)), policy
     )
+
+
+# ---------------------------------------------------------------------------
+# prepared execution (fused loop replay)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PreparedPhase:
+    """One phase of a :class:`PreparedComm`: moves, messages and duration.
+
+    ``moves`` is the flattened move list (every rectangle of every packed
+    transfer, with index positions precomputed), ``messages`` the prebuilt
+    :class:`~repro.spmd.message.Message` objects the phase charges, and
+    ``duration`` the phase time the machine's own cost formula yields for
+    exactly those messages -- precomputed once so replaying the phase
+    skips the cost arithmetic.
+    """
+
+    moves: tuple[PreparedMove, ...]
+    messages: tuple[Message, ...]
+    contended: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class PreparedComm:
+    """A :class:`CommSchedule` specialized to one array and element size.
+
+    Built by :func:`prepare_comm_schedule` when the executor records a loop
+    iteration: message construction, byte counts and phase durations are
+    hoisted out of the loop so :func:`execute_prepared_schedule` only moves
+    data and charges precomputed numbers.  The one-port re-check is skipped
+    at replay -- the phases were validated when the plan first executed and
+    are immutable -- which mirrors the ``statically_verified`` fast path.
+    """
+
+    plan: CommSchedule
+    local_moves: tuple[tuple[PreparedMove, Message], ...]
+    phases: tuple[PreparedPhase, ...]
+    predicted_bytes: int
+    predicted_messages: int
+    predicted_makespan: float
+
+
+def prepare_comm_schedule(
+    plan: CommSchedule,
+    src_layout: "Layout",
+    dst_layout: "Layout",
+    array: str,
+    itemsize: int,
+    cost: CostModel,
+    tag: str = "",
+) -> PreparedComm:
+    """Specialize ``plan`` to one copy's layouts and element size.
+
+    Message construction, index positions, byte counts and phase durations
+    are all hoisted so :func:`execute_prepared_schedule` only moves data
+    and charges precomputed numbers.
+    """
+    local_moves = tuple(
+        (
+            prepare_move(t, src_layout, dst_layout),
+            Message(
+                src=t.src_rank,
+                dst=t.dst_rank,
+                nbytes=t.elements * itemsize,
+                elements=t.elements,
+                array=array,
+                tag=tag,
+            ),
+        )
+        for t in plan.local_transfers
+    )
+    phases = []
+    for phase in plan.phases:
+        moves = tuple(
+            prepare_move(part, src_layout, dst_layout)
+            for pt in phase.transfers
+            for part in pt.parts
+        )
+        messages = tuple(
+            Message(
+                src=pt.src_rank,
+                dst=pt.dst_rank,
+                nbytes=pt.nbytes(itemsize),
+                elements=pt.elements,
+                array=array,
+                tag=tag,
+            )
+            for pt in phase.transfers
+        )
+        phases.append(
+            PreparedPhase(
+                moves, messages, phase.contended, phase.duration(cost, itemsize)
+            )
+        )
+    return PreparedComm(
+        plan,
+        local_moves,
+        tuple(phases),
+        predicted_bytes=plan.moved_bytes(itemsize),
+        predicted_messages=plan.message_count,
+        predicted_makespan=plan.makespan(cost, itemsize),
+    )
+
+
+def execute_prepared_schedule(
+    prep: PreparedComm,
+    source: DistributedArray,
+    target: DistributedArray,
+    machine: Machine,
+) -> None:
+    """Replay a prepared plan: bit-identical to :func:`execute_comm_schedule`.
+
+    Same moves through :func:`~repro.spmd.redistribution.move_transfer`,
+    same messages recorded on the machine stats, same phase count and phase
+    seconds -- only the per-execution construction and cost arithmetic are
+    gone, plus the one-port re-check (the phases were already validated
+    when the plan was recorded).
+    """
+    for pm, msg in prep.local_moves:
+        pm.execute(source, target)
+        machine.transfer(msg)
+    for ph in prep.phases:
+        for pm in ph.moves:
+            pm.execute(source, target)
+        machine.run_phase(
+            ph.messages, contended=ph.contended, verified=True, duration=ph.duration
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,22 +1,17 @@
 """Hypothesis profiles for the tier-1 suite.
 
-Default profile is deterministic so CI replays the same examples every run;
-``HYPOTHESIS_PROFILE=random`` opts into genuinely randomized exploration
-(the CI matrix runs a dedicated random leg of the soundness properties).
-
-History: the deterministic default originally *hid* a real violation --
-workload seed 2558 made level-3 motion emit 672 B where naive emits 576 B.
-The cost guard on the motion pass (see ``repro/remap/costguard.py``) fixed
-the heuristic, seed 2558 is pinned as a regression test in
-``tests/test_cost_guard.py``, and the monotonicity property was verified
-exhaustively on seeds 0..10000; the random profile is safe to run in CI
-again.  Derandomization is now purely about reproducible CI runs.
+All profile definitions live in :mod:`repro.fuzz.profiles` -- one
+registry shared by this suite, the CI ``tests-random`` leg, and the
+``fuzz-smoke`` leg (``python -m repro.fuzz``), so deadlines and
+derandomization can no longer drift apart between consumers.  Select
+with ``HYPOTHESIS_PROFILE``; the default is deterministic replay.
 """
 
-import os
+import sys
+from pathlib import Path
 
-from hypothesis import settings
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-settings.register_profile("deterministic", derandomize=True)
-settings.register_profile("random", derandomize=False)
-settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))
+from repro.fuzz.profiles import load_profile_from_env
+
+load_profile_from_env()

@@ -58,6 +58,22 @@ def test_architecture_mentions_every_module():
     )
 
 
+def test_fuzzing_doc_covers_kinds_and_profiles():
+    """docs/FUZZING.md must document every oracle finding kind and every
+    registered Hypothesis profile, plus the CLI entry point."""
+    from repro.fuzz.oracle import FINDING_KINDS
+    from repro.fuzz.profiles import PROFILES
+
+    text = (DOCS / "FUZZING.md").read_text()
+    missing = [k for k in FINDING_KINDS if f"`{k}`" not in text]
+    assert not missing, f"docs/FUZZING.md does not document kinds: {missing}"
+    missing = [p for p in PROFILES if f"`{p}`" not in text]
+    assert not missing, f"docs/FUZZING.md does not document profiles: {missing}"
+    assert "python -m repro.fuzz" in text
+    assert "tests/fuzz_corpus" in text
+    assert "HYPOTHESIS_PROFILE" in text
+
+
 def test_pass_table_matches_registry():
     text = (DOCS / "PASSES.md").read_text()
     begin = "<!-- BEGIN PASS TABLE (generated; do not edit by hand) -->"

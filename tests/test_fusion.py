@@ -1,0 +1,346 @@
+"""Fused loop replay: record-then-replay must be invisible to semantics.
+
+The contract under test (see :mod:`repro.runtime.fusion`): a fused run is
+bit-identical to an unfused run of the same program and environment -- the
+same values, bytes, messages, phases, status checks and plan accounting --
+while actually taking the replay fast path (the counters prove it).  Edge
+cases from the ISSUE: trip counts 0 and 1 never fuse, a mid-loop branch
+divergence completes correctly, invalidates the trace and re-records, and
+the Fig. 12/16 loops agree under every schedule policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    CompilerSession,
+    ExecutionEnv,
+    Executor,
+    Machine,
+    compile_program,
+)
+from repro.apps.workloads import loopy_subroutine
+from repro.spmd.schedule import POLICIES
+
+FIG12 = """
+subroutine remap(A, m)
+  integer m, n, p
+  real A(n,n), B(n,n), C(n,n)
+  intent inout A
+!hpf$ align with A :: B, C
+!hpf$ dynamic A, B, C
+!hpf$ distribute A(block, *)
+  compute "init" writes B reads A
+  if c1 then
+!hpf$   redistribute A(cyclic, *)
+    compute writes A, p reads A, B
+  else
+!hpf$   redistribute A(block, block)
+    compute writes p reads A
+  endif
+  do i = 1, m
+!hpf$   redistribute A(*, block)
+    compute writes C reads A
+!hpf$   redistribute A(block, *)
+    compute writes A reads A, C
+  enddo
+end
+"""
+
+BRANCHY_LOOP = """
+subroutine main()
+  integer n, t
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute defines A
+  do i = 1, t
+    if c1 then
+!hpf$   redistribute A(cyclic)
+    else
+!hpf$   redistribute A(cyclic(2))
+    endif
+!hpf$ redistribute A(block)
+    compute writes A reads A
+  enddo
+  compute reads A
+end
+"""
+
+
+def run_pair(
+    src,
+    *,
+    bindings,
+    conditions=None,
+    inputs=None,
+    options=None,
+    nprocs=4,
+    dtype=np.float64,
+):
+    """Run fused and unfused executions of the same program; return both."""
+    compiled = compile_program(
+        src,
+        bindings=bindings,
+        processors=nprocs,
+        options=options or CompilerOptions(level=3),
+    )
+    entry = next(iter(compiled.subroutines))
+    results = {}
+    for fuse in (True, False):
+        env = ExecutionEnv(
+            conditions={k: list(v) if isinstance(v, list) else v for k, v in (conditions or {}).items()},
+            bindings=bindings,
+            inputs={k: np.array(v) for k, v in (inputs or {}).items()},
+            check_invariants=True,
+            dtype=dtype,
+            fuse_loops=fuse,
+        )
+        machine = Machine(compiled.processors)
+        results[fuse] = Executor(compiled, machine, env).run(entry)
+    return results[True], results[False], compiled
+
+
+def assert_identical(fused, unfused, arrays):
+    """The full bit-identity contract: values, traffic, drift."""
+    for name in arrays:
+        np.testing.assert_array_equal(fused.value(name), unfused.value(name))
+    assert fused.stats.snapshot() == unfused.stats.snapshot()
+    assert fused.machine.phase_seconds == unfused.machine.phase_seconds
+    assert fused.drift.clean and unfused.drift.clean
+
+
+# ---------------------------------------------------------------------------
+# trip-count edges: 0 and 1 (and 2) never replay
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trips", [0, 1])
+def test_no_fusion_below_three_trips(trips):
+    fused, unfused, _ = run_pair(
+        FIG12,
+        bindings={"n": 8, "m": trips},
+        conditions={"c1": True},
+        inputs={"a": np.arange(64.0).reshape(8, 8)},
+    )
+    assert fused.fusion.traces_recorded == 0
+    assert fused.fusion.replays == 0
+    assert unfused.fusion.traces_recorded == 0
+    assert_identical(fused, unfused, ["a"])
+
+
+def test_two_trips_take_the_plain_path():
+    # two trips leave no iteration to replay after the two recording
+    # passes, so fusion does not even record
+    fused, unfused, _ = run_pair(
+        FIG12,
+        bindings={"n": 8, "m": 2},
+        conditions={"c1": True},
+        inputs={"a": np.arange(64.0).reshape(8, 8)},
+    )
+    assert fused.fusion.traces_recorded == 0
+    assert fused.fusion.replays == 0
+    assert_identical(fused, unfused, ["a"])
+
+
+def test_sixteen_trips_replay_fourteen():
+    fused, unfused, _ = run_pair(
+        FIG12,
+        bindings={"n": 8, "m": 16},
+        conditions={"c1": False},
+        inputs={"a": np.arange(64.0).reshape(8, 8)},
+    )
+    assert fused.fusion.traces_recorded == 2
+    assert fused.fusion.replays == 14
+    assert fused.fusion.invalidations == 0
+    assert_identical(fused, unfused, ["a"])
+
+
+# ---------------------------------------------------------------------------
+# divergence: branch outcomes force invalidation + re-record
+# ---------------------------------------------------------------------------
+
+
+def test_branch_divergence_invalidates_and_rerecords():
+    # iterations:   1     2     3     4      5     6     7     8
+    # conditions:   T     T     T     F      F     F     F     F
+    # fused:      record record replay diverge record record replay replay
+    conds = [True, True, True, False, False, False, False, False]
+    fused, unfused, _ = run_pair(
+        BRANCHY_LOOP,
+        bindings={"n": 16, "t": len(conds)},
+        conditions={"c1": list(conds)},
+    )
+    assert fused.fusion.invalidations == 1
+    assert fused.fusion.traces_recorded == 4  # two recordings per steady state
+    assert fused.fusion.replays == 3
+    assert_identical(fused, unfused, ["a"])
+
+
+def test_alternating_branch_never_replays_wrongly():
+    conds = [bool(i % 2) for i in range(10)]
+    fused, unfused, _ = run_pair(
+        BRANCHY_LOOP,
+        bindings={"n": 16, "t": len(conds)},
+        conditions={"c1": list(conds)},
+    )
+    # every warm replay diverges; correctness must be untouched
+    assert fused.fusion.invalidations >= 1
+    assert_identical(fused, unfused, ["a"])
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 / Fig. 16 loops under every schedule policy
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", [None, *POLICIES])
+def test_fig12_bit_identical_under_policies(policy):
+    fused, unfused, _ = run_pair(
+        FIG12,
+        bindings={"n": 8, "m": 10},
+        conditions={"c1": True},
+        inputs={"a": np.linspace(0.0, 1.0, 64).reshape(8, 8)},
+        options=CompilerOptions(level=3, schedule=policy),
+    )
+    assert fused.fusion.replays == 8
+    assert_identical(fused, unfused, ["a"])
+
+
+@pytest.mark.parametrize("policy", [None, *POLICIES])
+def test_fig16_loopy_bit_identical_under_policies(policy):
+    prog = loopy_subroutine(2, n=16)
+    compiled = compile_program(
+        prog,
+        bindings={"n": 16, "t": 12},
+        processors=4,
+        options=CompilerOptions(level=1, schedule=policy),
+    )
+    results = {}
+    for fuse in (True, False):
+        env = ExecutionEnv(
+            bindings={"t": 12},
+            check_invariants=True,
+            fuse_loops=fuse,
+        )
+        results[fuse] = Executor(compiled, Machine(compiled.processors), env).run(
+            "loopy"
+        )
+    fused, unfused = results[True], results[False]
+    assert fused.fusion.replays > 0
+    assert_identical(fused, unfused, ["a"])
+
+
+# ---------------------------------------------------------------------------
+# nested and symbolic loops
+# ---------------------------------------------------------------------------
+
+
+NESTED = """
+subroutine main()
+  integer n, t, u
+  real A(n)
+!hpf$ dynamic A
+!hpf$ distribute A(block)
+  compute defines A
+  do i = 1, t
+    do j = 1, u
+!hpf$ redistribute A(cyclic)
+      compute writes A reads A
+!hpf$ redistribute A(block)
+      compute writes A reads A
+    enddo
+    compute reads A
+  enddo
+end
+"""
+
+
+def test_nested_loops_fuse_independently():
+    fused, unfused, _ = run_pair(
+        NESTED, bindings={"n": 16, "t": 5, "u": 4}, options=CompilerOptions(level=1)
+    )
+    # outer and inner traces both recorded; inner replays across outer trips
+    assert fused.fusion.traces_recorded >= 4
+    assert fused.fusion.replays > fused.fusion.traces_recorded
+    assert_identical(fused, unfused, ["a"])
+
+
+def test_zero_trip_inner_loop():
+    fused, unfused, _ = run_pair(
+        NESTED, bindings={"n": 16, "t": 6, "u": 0}, options=CompilerOptions(level=1)
+    )
+    assert_identical(fused, unfused, ["a"])
+
+
+# ---------------------------------------------------------------------------
+# opt-outs and accounting surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_memory_limit_disables_fusion():
+    compiled = compile_program(
+        FIG12,
+        bindings={"n": 8, "m": 8},
+        processors=4,
+        options=CompilerOptions(level=3),
+    )
+    machine = Machine(compiled.processors)
+    machine.memory_limit = 1 << 30  # roomy, but any limit opts out
+    env = ExecutionEnv(
+        conditions={"c1": True},
+        bindings={"n": 8, "m": 8},
+        inputs={"a": np.zeros((8, 8))},
+    )
+    result = Executor(compiled, machine, env).run("remap")
+    assert result.fusion.traces_recorded == 0
+    assert result.fusion.replays == 0
+
+
+def test_env_opt_out_disables_fusion():
+    fused, unfused, _ = run_pair(
+        FIG12,
+        bindings={"n": 8, "m": 8},
+        conditions={"c1": True},
+        inputs={"a": np.zeros((8, 8))},
+    )
+    assert unfused.fusion.replays == 0 and unfused.fusion.traces_recorded == 0
+    assert fused.fusion.replays > 0
+
+
+def test_session_accumulates_fusion_stats():
+    session = CompilerSession()
+    prog = loopy_subroutine(1, n=16)
+    session.run(prog, bindings={"n": 16, "t": 8}, processors=4)
+    stats = session.stats
+    assert stats["loop_traces_recorded"] == 2
+    assert stats["loop_replays"] == 6
+    assert stats["loop_invalidations"] == 0
+    session.run(prog, bindings={"n": 16, "t": 8}, processors=4, fuse_loops=False)
+    assert session.stats["loop_replays"] == 6  # opt-out run added nothing
+
+
+def test_obs_counters_cover_fusion():
+    from repro.obs.catalog import REGISTRY
+
+    session = CompilerSession()
+    prog = loopy_subroutine(1, n=16)
+    def counters(snap):
+        return {
+            m["name"]: m.get("value", 0)
+            for m in snap["metrics"]
+            if m["name"].startswith("repro.runtime.loop_")
+        }
+
+    before = counters(REGISTRY.snapshot())
+    session.run(prog, bindings={"n": 16, "t": 8}, processors=4)
+    after = counters(REGISTRY.snapshot())
+
+    def delta(name):
+        return after.get(name, 0) - before.get(name, 0)
+
+    assert delta("repro.runtime.loop_traces_recorded") == 2
+    assert delta("repro.runtime.loop_replays") == 6

@@ -1,0 +1,113 @@
+"""Replay the pinned fuzz corpus through the full oracle matrix.
+
+Every entry in ``tests/fuzz_corpus/`` is a program the fuzzer once
+shrank (or a survivor pinned for feature coverage).  The *fixed*
+compiler must report nothing for any of them, across all 64 cells of
+the option matrix -- the same pinning discipline as workload seed 2558
+in ``tests/test_cost_guard.py``, applied to the whole corpus.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.oracle import OracleConfig, run_oracle
+from repro.lang.ast_nodes import Do, If, Kill, Redistribute, walk_statements
+from repro.lang.parser import parse_program
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+#: feature tags the ISSUE requires the corpus to cover
+REQUIRED_COVERS = {
+    "zero-trip-loop",
+    "kill-before-use",
+    "both-arm-remap",
+    "nested-symbolic-loops",
+}
+
+#: the oracle slice the teeth entries were pinned under
+TEETH = OracleConfig(
+    levels=(0, 1, 2, 3),
+    schedules=(None,),
+    variants=("eager",),
+    provenances=("fresh",),
+    lint=False,
+    unguarded_motion=True,
+)
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 10
+
+
+def test_corpus_covers_required_features():
+    covered = {tag for e in ENTRIES for tag in e.covers}
+    assert REQUIRED_COVERS <= covered, REQUIRED_COVERS - covered
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_survives_the_full_matrix(entry):
+    findings = run_oracle(entry.to_case(), OracleConfig.full())
+    assert findings == [], [str(f) for f in findings]
+
+
+def test_teeth_entries_still_reproduce_without_the_guard():
+    """The two shrunk counter-examples must keep demonstrating the
+    violation the CostGuard exists to prevent -- if unguarded motion
+    stops reproducing them, the pins have gone stale."""
+    teeth_entries = [e for e in ENTRIES if "teeth" in e.covers]
+    assert len(teeth_entries) >= 2
+    for entry in teeth_entries:
+        findings = run_oracle(entry.to_case(), TEETH)
+        kinds = {f.kind for f in findings}
+        assert set(entry.kinds) <= kinds, (entry.name, kinds)
+
+
+def _structural_features(entry):
+    """Recompute feature tags from the pinned source (the same
+    classification the seeding used), so ``covers`` stays honest."""
+    program = parse_program(entry.source)
+    body = program.subroutines[0].body
+    tags = set()
+    for stmt in walk_statements(body):
+        if isinstance(stmt, Kill):
+            tags.add("kill-before-use")
+        elif isinstance(stmt, Do):
+            hi = stmt.hi
+            if isinstance(hi, str):
+                tags.add("symbolic-loop")
+                hi = entry.bindings.get(hi, 0)
+            if hi < stmt.lo:
+                tags.add("zero-trip-loop")
+            inner = [s for s in walk_statements(stmt.body) if isinstance(s, Do)]
+            if inner:
+                tags.add("nested-loops")
+                if isinstance(stmt.hi, str) or any(
+                    isinstance(s.hi, str) for s in inner
+                ):
+                    tags.add("nested-symbolic-loops")
+        elif isinstance(stmt, If):
+            then_remaps = {
+                s.target
+                for s in walk_statements(stmt.then)
+                if isinstance(s, Redistribute)
+            }
+            else_remaps = {
+                s.target
+                for s in walk_statements(stmt.orelse)
+                if isinstance(s, Redistribute)
+            }
+            if then_remaps & else_remaps:
+                tags.add("both-arm-remap")
+    return tags
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in ENTRIES if "teeth" not in e.covers],
+    ids=[e.name for e in ENTRIES if "teeth" not in e.covers],
+)
+def test_covers_tags_match_program_structure(entry):
+    assert set(entry.covers) <= _structural_features(entry), entry.name
