@@ -1,10 +1,13 @@
 """Perf-regression gate: fresh benchmark output vs committed baselines.
 
-CI's ``bench-smoke`` leg runs the schedule, service and symbolic
-benchmarks, then invokes this script to compare the freshly produced
-``BENCH_schedule.json`` / ``BENCH_service.json`` / ``BENCH_symbolic.json``
-against the committed baselines in ``benchmarks/baselines/``.  The perf
-trajectory is thereby *gated*, not merely uploaded.
+CI's ``bench-smoke`` leg runs the schedule, service, symbolic and
+mp-transport benchmarks, then invokes this script to compare the freshly
+produced ``BENCH_schedule.json`` / ``BENCH_service.json`` /
+``BENCH_symbolic.json`` / ``BENCH_mp.json`` against the committed
+baselines in ``benchmarks/baselines/``.  The perf trajectory is thereby
+*gated*, not merely uploaded.  When ``$GITHUB_STEP_SUMMARY`` is set the
+verdict is additionally appended there as markdown, so the run's summary
+page shows what was gated and what regressed.
 
 Tolerances are deliberately generous -- runners differ in cores, clock
 and load -- so only regressions that cannot be machine noise fail:
@@ -26,7 +29,12 @@ and load -- so only regressions that cannot be machine noise fail:
   instantiation >= 20x cheaper than a concrete compile;
 * **instrumentation price ceilings**: the warm service batch priced with
   metric publication on must stay within 1% of the metrics-disabled
-  floor, and within 5% with tracing enabled.
+  floor, and within 5% with tracing enabled;
+* **mp-transport discipline**: round-robin's *measured* one-port-clock
+  makespan must not exceed naive's, the transport's deterministic
+  traffic accounting must match the baseline exactly, and the
+  measured-vs-predicted calibration ratio must stay within a wide band
+  of the committed one.
 
 Every fresh BENCH json must additionally embed a well-formed registry
 snapshot under ``"obs"`` (schema-versioned, histograms internally
@@ -43,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -294,6 +303,106 @@ def check_symbolic(
     return problems, compared
 
 
+def check_mp(
+    fresh: dict, baseline: dict, max_slowdown: float
+) -> tuple[list[str], int]:
+    """Gate the mp transport's measured trajectory (see
+    :func:`check_schedule` on why zero comparisons must not pass).
+
+    Deterministic fields (per-policy messages/bytes/phases) must match
+    the baseline exactly when the experiment shape matches -- the
+    transport moving different traffic than it used to is a correctness
+    drift, not noise.  The measured fields get two kinds of bound: the
+    recorded makespan ordering (round-robin <= naive on the one-port
+    clock) is exact, while the calibration ratio -- measured time over
+    the cost model's prediction, a property of the host's pipes as much
+    as of the code -- is only gated within a deliberately wide
+    ``10 * max_slowdown`` band, enough to catch an accidental sync/sleep
+    in the transport without flaking on slower runners.
+    """
+    problems: list[str] = []
+    compared = 0
+    results = fresh["results"]
+    rr, naive, agg = results["round-robin"], results["naive"], results["aggregate"]
+    compared += 1
+    if rr["port_us"] > naive["port_us"] + EPS:
+        problems.append(
+            f"mp: measured makespan-ordering violation -- round-robin "
+            f"{rr['port_us']:.0f}us > naive {naive['port_us']:.0f}us on the "
+            "one-port clock"
+        )
+    if agg["messages"] > rr["messages"]:
+        problems.append(
+            f"mp: aggregation increased real messages "
+            f"({agg['messages']} > {rr['messages']})"
+        )
+    if agg["bytes"] != rr["bytes"]:
+        problems.append(
+            f"mp: aggregation changed moved bytes ({agg['bytes']} != {rr['bytes']})"
+        )
+    for policy, r in results.items():
+        c = float(r["calibration"])
+        if not (c > 0):
+            problems.append(f"mp[{policy}]: calibration ratio {c!r} is not positive")
+
+    same_shape = all(
+        fresh.get(k) == baseline.get(k) for k in ("nprocs", "n", "trips")
+    )
+    if same_shape:
+        cal_bound = 10.0 * max_slowdown
+        for policy in ("naive", "round-robin", "aggregate"):
+            f, b = results[policy], baseline["results"][policy]
+            compared += 1
+            for key in ("messages", "bytes", "phases"):
+                if f[key] != b[key]:
+                    problems.append(
+                        f"mp[{policy}]: deterministic {key} drifted from "
+                        f"baseline ({f[key]} != {b[key]})"
+                    )
+            fc, bc = float(f["calibration"]), float(b["calibration"])
+            if bc > 0 and fc > cal_bound * bc:
+                problems.append(
+                    f"mp[{policy}]: calibration ratio regressed {fc:.2f} vs "
+                    f"baseline {bc:.2f} (> {cal_bound:g}x band)"
+                )
+    return problems, compared
+
+
+def write_step_summary(lines: list[str], path: str | None = None) -> bool:
+    """Append a markdown report to ``$GITHUB_STEP_SUMMARY`` when set.
+
+    CI surfaces the gate's verdict on the run's summary page instead of
+    burying it in the log.  Returns whether anything was written; a
+    missing/unset variable is a silent no-op (local runs).
+    """
+    target = path if path is not None else os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    try:
+        with open(target, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        print(f"perf-gate: cannot write step summary: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
+def _summary_lines(
+    status: str, problems: list[str], compared: dict[str, int]
+) -> list[str]:
+    lines = ["## Perf gate", "", f"**{status}**", ""]
+    if compared:
+        lines += ["| benchmark | cases compared |", "| --- | --- |"]
+        lines += [f"| `{name}` | {n} |" for name, n in sorted(compared.items())]
+        lines.append("")
+    if problems:
+        lines.append(f"{len(problems)} problem(s):")
+        lines.append("")
+        lines += [f"- {p}" for p in problems]
+        lines.append("")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     here = Path(__file__).resolve().parent
     parser = argparse.ArgumentParser(description="gate fresh BENCH json vs baselines")
@@ -318,50 +427,82 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     problems: list[str] = []
-    total_compared = 0
+    compared_by_file: dict[str, int] = {}
     for name, check in (
         ("BENCH_schedule.json", check_schedule),
         ("BENCH_service.json", check_service),
         ("BENCH_symbolic.json", check_symbolic),
+        ("BENCH_mp.json", check_mp),
     ):
         fresh_path = args.fresh_dir / name
         base_path = args.baseline_dir / name
-        fresh = _load(fresh_path)
+        try:
+            fresh = _load(fresh_path)
+            baseline = _load(base_path)
+        except SystemExit:
+            write_step_summary(
+                _summary_lines(
+                    ":warning: infrastructure failure (exit 2)",
+                    [f"{name}: missing or unreadable (fresh or baseline)"],
+                    compared_by_file,
+                )
+            )
+            raise
         infra = check_obs_snapshot(fresh, name)
         if name == "BENCH_service.json" and "overhead" not in fresh:
             infra.append(f"{name}: missing the instrumentation 'overhead' block")
+        if not infra:
+            try:
+                found, compared = check(fresh, baseline, args.max_slowdown)
+            except (KeyError, TypeError, ValueError) as exc:
+                # a renamed/missing policy or metric key is schema drift --
+                # an infrastructure failure (2), not a perf regression (1)
+                infra.append(
+                    f"{name} does not match the expected benchmark schema "
+                    f"({type(exc).__name__}: {exc})"
+                )
+            else:
+                if compared == 0:
+                    infra.append(
+                        f"{name} has no cases in common with its baseline "
+                        "(schema drift or disjoint sweeps?) -- the gate "
+                        "checked nothing"
+                    )
         if infra:
             for p in infra:
                 print(f"perf-gate: {p} -- refusing to gate", file=sys.stderr)
-            return 2
-        try:
-            found, compared = check(fresh, _load(base_path), args.max_slowdown)
-        except (KeyError, TypeError, ValueError) as exc:
-            # a renamed/missing policy or metric key is schema drift --
-            # an infrastructure failure (2), not a perf regression (1)
-            print(
-                f"perf-gate: {name} does not match the expected benchmark "
-                f"schema ({type(exc).__name__}: {exc}) -- refusing to gate",
-                file=sys.stderr,
+            write_step_summary(
+                _summary_lines(
+                    ":warning: infrastructure failure (exit 2)",
+                    infra,
+                    compared_by_file,
+                )
             )
             return 2
         problems += found
-        if compared == 0:
-            print(
-                f"perf-gate: {name} has no cases in common with its baseline "
-                "(schema drift or disjoint sweeps?) -- the gate checked "
-                "nothing, refusing to pass",
-                file=sys.stderr,
-            )
-            return 2
-        total_compared += compared
+        compared_by_file[name] = compared
 
+    total_compared = sum(compared_by_file.values())
     if problems:
         print(f"perf-gate: {len(problems)} regression(s) found:", file=sys.stderr)
         for p in problems:
             print(f"  - {p}", file=sys.stderr)
+        write_step_summary(
+            _summary_lines(
+                f":x: {len(problems)} regression(s) found (exit 1)",
+                problems,
+                compared_by_file,
+            )
+        )
         return 1
     print(f"perf-gate: OK ({total_compared} cases within tolerances)")
+    write_step_summary(
+        _summary_lines(
+            f":white_check_mark: OK -- {total_compared} cases within tolerances",
+            [],
+            compared_by_file,
+        )
+    )
     return 0
 
 

@@ -697,6 +697,7 @@ class CompilerSession:
         check_invariants: bool = False,
         dtype=None,
         fuse_loops: bool = True,
+        backend: str = "sim",
     ) -> "ExecutionResult":
         """Compile (cached) and execute in one call.
 
@@ -706,12 +707,16 @@ class CompilerSession:
         traffic stats) used for the run.  ``fuse_loops`` opts the run out
         of fused loop replay (:mod:`repro.runtime.fusion`) when ``False``;
         the session's :attr:`stats` accumulate the fusion counters either
-        way.
+        way.  ``backend="mp"`` executes across real forked worker ranks
+        (:mod:`repro.runtime.mpbackend`) instead of the simulator; the
+        result is bit-identical, plus a measured ``result.mp`` report.
         """
         import numpy as np
 
         from repro.runtime.executor import ExecutionEnv, execute
 
+        if backend not in ("sim", "mp"):
+            raise ValueError(f"unknown backend {backend!r}; known: 'sim', 'mp'")
         compiled = self.compile(
             source, bindings=bindings, processors=processors, options=options
         )
@@ -724,7 +729,12 @@ class CompilerSession:
             dtype=np.float64 if dtype is None else dtype,
             fuse_loops=fuse_loops,
         )
-        result = execute(compiled, entry=entry, machine=machine, env=env)
+        if backend == "mp":
+            from repro.runtime.mpbackend import execute_mp
+
+            result = execute_mp(compiled, entry=entry, machine=machine, env=env)
+        else:
+            result = execute(compiled, entry=entry, machine=machine, env=env)
         with self._lock:
             self.loop_traces_recorded += result.fusion.traces_recorded
             self.loop_replays += result.fusion.replays

@@ -203,3 +203,8 @@ class DeadCopyError(RuntimeRemapError):
 
 class OutOfMemoryError(RuntimeRemapError):
     """The memory manager could not satisfy an allocation even after eviction."""
+
+
+class TransportError(RuntimeRemapError):
+    """The multi-process transport failed: a worker died, a phase moved the
+    wrong bytes, the shared arena overflowed, or the platform cannot fork."""

@@ -65,6 +65,14 @@ def _specs() -> tuple[MetricSpec, ...]:
         MetricSpec("repro.runtime.loop_traces_recorded", c, "Loop iterations recorded for fused replay."),
         MetricSpec("repro.runtime.loop_replays", c, "Loop iterations replayed from a fused trace."),
         MetricSpec("repro.runtime.loop_invalidations", c, "Fused loop traces invalidated by divergence."),
+        # -- multi-process transport -------------------------------------------
+        MetricSpec("repro.mp.workers", g, "Live forked worker ranks of the mp transport."),
+        MetricSpec("repro.mp.exchanges", c, "Remapping exchanges executed over the transport."),
+        MetricSpec("repro.mp.phases", c, "Barriered transfer rounds executed by the workers."),
+        MetricSpec("repro.mp.messages", c, "Real inter-process messages carried over the pipes."),
+        MetricSpec("repro.mp.bytes_moved", c, "Payload bytes carried between worker ranks."),
+        MetricSpec("repro.mp.phase_wall_seconds", h, "Barrier-to-barrier wall time of each round."),
+        MetricSpec("repro.mp.phase_port_seconds", h, "Measured one-port-clock duration of each round."),
         # -- drift monitor ----------------------------------------------------
         MetricSpec("repro.drift.remaps_checked", c, "Executed remaps compared against predictions."),
         MetricSpec("repro.drift.byte_mismatches", c, "Remaps whose observed bytes differed from predicted."),

@@ -240,6 +240,10 @@ class ExecutionResult:
         #: fused-loop record/replay counters for the run
         #: (see :class:`repro.runtime.fusion.FusionStats`)
         self.fusion = executor.fusion
+        #: measured multi-process transport report when the run executed on
+        #: the mp backend (:mod:`repro.runtime.mpbackend`); ``None`` for
+        #: simulated runs
+        self.mp = getattr(executor, "mp_report", None)
 
     def value(self, name: str) -> np.ndarray:
         state = self._frame.arrays[name]
@@ -608,7 +612,7 @@ class Executor:
                 prepared.execute(source, target, self.machine)
                 return
             sched = build_schedule(source.layout, target.layout)
-            execute_schedule(sched, source, target, self.machine, tag=tag)
+            self._run_unscheduled(sched, source, target, tag)
             if self._capture is not None:
                 itemsize = np.dtype(self.env.dtype).itemsize
                 self._capture.append(
@@ -662,7 +666,7 @@ class Executor:
         messages_before = stats.messages
         makespan_before = self.machine.phase_seconds
         with _TRACER.span("remap.plan_replay", tag=tag, reused=reused):
-            execute_comm_schedule(plan, source, target, self.machine, tag=tag)
+            self._run_plan(plan, source, target, tag)
         self.drift.record(
             DriftRecord(
                 tag=tag,
@@ -689,6 +693,16 @@ class Executor:
                     ),
                 )
             )
+
+    # -- movement hooks (the mp backend overrides these two) ------------------
+
+    def _run_unscheduled(self, sched, source, target, tag: str) -> None:
+        """Move one unscheduled remapping's transfers (simulated here)."""
+        execute_schedule(sched, source, target, self.machine, tag=tag)
+
+    def _run_plan(self, plan, source, target, tag: str) -> None:
+        """Move one planned remapping phase by phase (simulated here)."""
+        execute_comm_schedule(plan, source, target, self.machine, tag=tag)
 
     # -- statements -------------------------------------------------------------------------
 

@@ -45,10 +45,15 @@ class MemoryManager:
         self,
         machine: Machine,
         candidates: Callable[[], Iterable[tuple[ArrayRuntime, int]]] | None = None,
+        array_factory: Callable[..., DistributedArray] | None = None,
     ):
         self.machine = machine
         # enumerate (descriptor, version) pairs that may be evicted
         self._candidates = candidates or (lambda: ())
+        # how to build storage once the budget check passes; the mp backend
+        # substitutes shared-arena arrays here, everything else gets the
+        # plain heap-backed DistributedArray
+        self._factory = array_factory or DistributedArray
 
     def set_candidates(
         self, fn: Callable[[], Iterable[tuple[ArrayRuntime, int]]]
@@ -87,4 +92,4 @@ class MemoryManager:
                     f"cannot allocate {name}: memory limit reached and no live "
                     "copy is evictable"
                 )
-        return DistributedArray(name, mapping, self.machine, dtype)
+        return self._factory(name, mapping, self.machine, dtype)

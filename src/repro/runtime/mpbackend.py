@@ -1,0 +1,353 @@
+"""The multi-process execution backend: compiled programs on real ranks.
+
+:class:`MPExecutor` is the simulator's :class:`~repro.runtime.executor.Executor`
+with exactly one thing changed: remapping bytes cross real process
+boundaries.  Distributed-array blocks are placed in the transport's shared
+arenas (:class:`~repro.spmd.transport.SharedDistributedArray`), and the two
+movement hooks -- :meth:`Executor._run_unscheduled` and
+:meth:`Executor._run_plan` -- are overridden to ship each remapping's
+transfers to the forked worker ranks as barriered
+:class:`~repro.spmd.transport.TransferRound` programs instead of copying
+in-process.
+
+Differential soundness is the design invariant, enforced three ways:
+
+* **values** -- workers gather/scatter with the same
+  :func:`~repro.spmd.darray.positions_in` + ``np.ix_`` arithmetic
+  :func:`~repro.spmd.redistribution.move_transfer` uses, over the same
+  blocks the parent verifies, so every executed program's results are
+  bit-identical to the simulator's;
+* **ledger** -- the modeled :class:`~repro.spmd.machine.Machine` is charged
+  with *identical* :class:`~repro.spmd.message.Message` lists at identical
+  points (``transfer`` per unscheduled message, ``run_phase`` per planned
+  phase), so traffic stats, phase counts, drift records and the obs
+  counters they feed match the simulator exactly;
+* **discipline** -- the transport re-validates the one-port property of
+  every contention-free round and cross-checks each worker's actually
+  moved message/byte counts against the round's prescription.
+
+What the simulator cannot give -- wall time of real exchanges -- lands in
+:class:`MPRunReport` (reachable as ``ExecutionResult.mp``): per-round wall
+spans plus the measured *port-clock* makespan, i.e. measured per-message
+costs composed by the same one-port formula the cost model uses
+(:func:`~repro.spmd.transport.measured_phase_time`), which is what
+``benchmarks/bench_mp.py`` calibrates against
+:meth:`~repro.spmd.cost.CostModel.scheduled_time` predictions.
+
+Fused loop replay is disabled on this backend: a fused iteration replays
+prepared in-process moves, which would bypass the transport entirely;
+fusion is semantics-preserving (PR 9's invariant), so differentials
+against fused simulator runs still hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.compiler.artifacts import CompiledProgram
+from repro.runtime.executor import ExecutionEnv, ExecutionResult, Executor
+from repro.runtime.memory import MemoryManager
+from repro.spmd.darray import positions_in
+from repro.spmd.machine import Machine
+from repro.spmd.message import Message
+from repro.spmd.redistribution import Transfer, move_transfer
+from repro.spmd.transport import (
+    DEFAULT_ARENA_BYTES,
+    ExchangeReport,
+    MPTransport,
+    SharedDistributedArray,
+    TransferRound,
+    WireMessage,
+    WirePart,
+)
+
+
+# ---------------------------------------------------------------------------
+# measured-run reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MPRunReport:
+    """Measured transport activity of one mp-backend run.
+
+    ``port_seconds`` is the run's measured makespan on the one-port clock
+    (per-message measured costs composed phase by phase with the cost
+    model's own formula); ``wall_seconds`` is the raw barrier-to-barrier
+    wall time of the same rounds.  On a time-sliced host with more ranks
+    than cores the wall number mostly measures the OS scheduler, which is
+    why the port-clock number is the one compared against
+    :meth:`~repro.spmd.cost.CostModel.scheduled_time` predictions.
+    """
+
+    nprocs: int = 0
+    exchanges: int = 0
+    phases: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    wall_seconds: float = 0.0
+    port_seconds: float = 0.0
+    phase_wall_seconds: list[float] = field(default_factory=list)
+    phase_port_seconds: list[float] = field(default_factory=list)
+
+    def add(self, report: ExchangeReport) -> None:
+        self.exchanges += 1
+        self.phases += len(report.rounds)
+        self.messages += report.messages
+        self.bytes_moved += report.bytes
+        self.wall_seconds += report.wall_seconds
+        self.port_seconds += report.port_seconds
+        for rnd in report.rounds:
+            self.phase_wall_seconds.append(rnd.wall_seconds)
+            self.phase_port_seconds.append(rnd.port_seconds)
+
+    @property
+    def measured_makespan(self) -> float:
+        """The run's total measured port-clock communication time."""
+        return self.port_seconds
+
+    def calibration_ratio(self, predicted_seconds: float) -> float:
+        """Measured port-clock makespan over a modeled prediction."""
+        if predicted_seconds <= 0.0:
+            return float("nan")
+        return self.port_seconds / predicted_seconds
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {
+            "nprocs": self.nprocs,
+            "exchanges": self.exchanges,
+            "phases": self.phases,
+            "messages": self.messages,
+            "bytes_moved": self.bytes_moved,
+            "wall_seconds": self.wall_seconds,
+            "port_seconds": self.port_seconds,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+
+
+class MPExecutor(Executor):
+    """An :class:`Executor` whose remapping bytes cross process boundaries.
+
+    Needs a *started* :class:`~repro.spmd.transport.MPTransport` whose rank
+    count matches the machine; everything else (ops, kernels, status
+    machinery, drift, obs) is inherited unchanged.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        machine: Machine | None = None,
+        env: ExecutionEnv | None = None,
+        transport: MPTransport | None = None,
+    ):
+        super().__init__(compiled, machine, env)
+        if transport is None:
+            raise TransportError("MPExecutor requires a started MPTransport")
+        if transport.nprocs != self.machine.processors.size:
+            raise TransportError(
+                f"transport has {transport.nprocs} worker rank(s), machine "
+                f"has {self.machine.processors.size}"
+            )
+        self.transport = transport
+        self.mp_report = MPRunReport(nprocs=transport.nprocs)
+        # storage goes to the shared arenas so workers see the same bytes
+        self.memory = MemoryManager(
+            self.machine, self._eviction_candidates, array_factory=self._make_array
+        )
+        # fused replay moves data in-process; the transport must carry
+        # every message, so this backend always interprets
+        self._fuse = False
+
+    def _make_array(self, name, mapping, machine, dtype) -> SharedDistributedArray:
+        return SharedDistributedArray(name, mapping, machine, self.transport, dtype)
+
+    # -- wire-program construction ----------------------------------------
+
+    @staticmethod
+    def _wire_part(
+        t: Transfer,
+        source: SharedDistributedArray,
+        target: SharedDistributedArray,
+    ) -> WirePart:
+        """One rectangle's gather/scatter program, from the same layout
+        arithmetic :func:`~repro.spmd.redistribution.move_transfer` runs."""
+        src_lay, dst_lay = source.layout, target.layout
+        qs = src_lay.procs.coords(t.src_rank)
+        qd = dst_lay.procs.coords(t.dst_rank)
+        src_owned = src_lay.owned(qs)
+        dst_owned = dst_lay.owned(qd)
+        assert src_owned is not None and dst_owned is not None
+        src_pos = tuple(
+            positions_in(o, s) for o, s in zip(src_owned, t.index_sets)
+        )
+        dst_pos = tuple(
+            positions_in(o, s) for o, s in zip(dst_owned, t.index_sets)
+        )
+        return WirePart(
+            src_block=source.block_ref(t.src_rank),
+            dst_block=target.block_ref(t.dst_rank),
+            src_ix=np.ix_(*src_pos),
+            dst_ix=np.ix_(*dst_pos),
+            shape=tuple(len(s) for s in t.index_sets),
+            nbytes=t.elements * source.itemsize,
+        )
+
+    # -- movement hooks -----------------------------------------------------
+
+    def _run_unscheduled(self, sched, source, target, tag: str) -> None:
+        """Unscheduled remap: locals in the parent, every real message over
+        the transport as one unphased (contended-like) round, then the
+        identical per-message ledger charges the simulator makes."""
+        itemsize = target.itemsize
+        remote: list[Transfer] = []
+        for t in sched.transfers:
+            if t.elements == 0:
+                continue
+            if t.is_local:
+                move_transfer(t, source, target)
+                self.machine.transfer(self._message(t, itemsize, target.name, tag))
+            else:
+                remote.append(t)
+        if remote:
+            wire = tuple(
+                WireMessage(t.src_rank, t.dst_rank, (self._wire_part(t, source, target),))
+                for t in remote
+            )
+            self.mp_report.add(
+                self.transport.exchange((TransferRound(wire, contended=True),))
+            )
+            for t in remote:
+                self.machine.transfer(self._message(t, itemsize, target.name, tag))
+
+    def _run_plan(self, plan, source, target, tag: str) -> None:
+        """Planned remap: locals in the parent, each phase as one barriered
+        transport round, then ``machine.run_phase`` with the identical
+        message lists the simulator charges (same one-port validation,
+        same stats, same drift inputs)."""
+        itemsize = target.itemsize
+        for t in plan.local_transfers:
+            move_transfer(t, source, target)
+            self.machine.transfer(self._message(t, itemsize, target.name, tag))
+        if not plan.phases:
+            return
+        rounds = []
+        ledger: list[list[Message]] = []
+        for phase in plan.phases:
+            wire = []
+            messages = []
+            for pt in phase.transfers:
+                wire.append(
+                    WireMessage(
+                        pt.src_rank,
+                        pt.dst_rank,
+                        tuple(self._wire_part(p, source, target) for p in pt.parts),
+                    )
+                )
+                messages.append(
+                    Message(
+                        src=pt.src_rank,
+                        dst=pt.dst_rank,
+                        nbytes=pt.nbytes(itemsize),
+                        elements=pt.elements,
+                        array=target.name,
+                        tag=tag,
+                    )
+                )
+            rounds.append(TransferRound(tuple(wire), contended=phase.contended))
+            ledger.append(messages)
+        self.mp_report.add(self.transport.exchange(tuple(rounds)))
+        for phase, messages in zip(plan.phases, ledger):
+            self.machine.run_phase(
+                messages,
+                contended=phase.contended,
+                verified=plan.statically_verified,
+            )
+
+    @staticmethod
+    def _message(t: Transfer, itemsize: int, array: str, tag: str) -> Message:
+        return Message(
+            src=t.src_rank,
+            dst=t.dst_rank,
+            nbytes=t.elements * itemsize,
+            elements=t.elements,
+            array=array,
+            tag=tag,
+        )
+
+
+# ---------------------------------------------------------------------------
+# backend pool + one-call helper
+# ---------------------------------------------------------------------------
+
+
+class MPBackend:
+    """One started transport, reusable across sequential runs.
+
+    The differential test matrix and the benchmarks run hundreds of small
+    programs; forking P workers per run would dominate, so the backend
+    owns one long-lived :class:`~repro.spmd.transport.MPTransport` and
+    executes any number of compiled programs (of the matching processor
+    count) against it.  Context-manager friendly; :meth:`close` tears the
+    workers down.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+        timeout: float = 120.0,
+    ):
+        self.transport = MPTransport(processors, arena_bytes, timeout)
+
+    @property
+    def nprocs(self) -> int:
+        return self.transport.nprocs
+
+    def __enter__(self) -> "MPBackend":
+        self.transport.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def execute(
+        self,
+        compiled: CompiledProgram,
+        entry: str | None = None,
+        machine: Machine | None = None,
+        env: ExecutionEnv | None = None,
+    ) -> ExecutionResult:
+        """Run one compiled program across the backend's worker ranks."""
+        self.transport.start()
+        if entry is None:
+            entry = next(iter(compiled.subroutines))
+        machine = machine or Machine(compiled.processors)
+        executor = MPExecutor(
+            compiled, machine, env or ExecutionEnv(), self.transport
+        )
+        return executor.run(entry)
+
+
+def execute_mp(
+    compiled: CompiledProgram,
+    entry: str | None = None,
+    machine: Machine | None = None,
+    env: ExecutionEnv | None = None,
+    arena_bytes: int = DEFAULT_ARENA_BYTES,
+) -> ExecutionResult:
+    """Run one compiled program on a transient mp backend (forks, runs,
+    tears the workers down).  The result's array values stay readable
+    after close: gather runs parent-side over the still-mapped arenas.
+    """
+    with MPBackend(compiled.processors.size, arena_bytes=arena_bytes) as backend:
+        return backend.execute(compiled, entry=entry, machine=machine, env=env)

@@ -75,7 +75,10 @@ class CompileRequest:
     ``conditions``/``inputs``/``kernels``/``entry`` only affect the
     execution.  ``run=False`` requests compilation alone (cache warming).
     ``io_seconds`` is the modeled request transport time -- see the
-    module docstring.
+    module docstring.  ``backend="mp"`` opts the execution onto real
+    forked worker ranks (:mod:`repro.runtime.mpbackend`); results are
+    bit-identical to the default simulator, plus a measured
+    ``result.mp`` transport report.
     """
 
     source: str | Program | Subroutine
@@ -90,6 +93,7 @@ class CompileRequest:
     dtype: object = None
     run: bool = True
     io_seconds: float = 0.0
+    backend: str = "sim"
 
 
 @dataclass
@@ -482,8 +486,18 @@ class CompileService:
                         check_invariants=request.check_invariants,
                         dtype=np.float64 if request.dtype is None else request.dtype,
                     )
-                    with _TRACER.span("service.run"):
-                        res.result = execute(compiled, entry=request.entry, env=env)
+                    if request.backend not in ("sim", "mp"):
+                        raise ValueError(
+                            f"unknown backend {request.backend!r}; "
+                            "known: 'sim', 'mp'"
+                        )
+                    with _TRACER.span("service.run", backend=request.backend):
+                        if request.backend == "mp":
+                            from repro.runtime.mpbackend import execute_mp
+
+                            res.result = execute_mp(compiled, entry=request.entry, env=env)
+                        else:
+                            res.result = execute(compiled, entry=request.entry, env=env)
                     res.run_seconds = time.perf_counter() - tr
                 if request.io_seconds > 0:  # modeled response transfer
                     time.sleep(request.io_seconds / 2)

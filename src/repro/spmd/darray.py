@@ -72,11 +72,22 @@ class DistributedArray:
         for q in self.layout.holders():
             rank = mapping.processors.linear_rank(q)
             shape = self.layout.local_shape(q)
-            block = np.zeros(shape, dtype=self.dtype)
+            block = self._new_block(rank, shape)
             self.blocks[rank] = block
             if account_memory:
                 machine.allocate(rank, block.nbytes)
         self._freed = False
+
+    # -- storage hooks (subclasses may place blocks elsewhere) ----------------
+
+    def _new_block(self, rank: int, shape: tuple[int, ...]) -> np.ndarray:
+        """Create one rank's zeroed local block (private heap storage here;
+        :class:`~repro.spmd.transport.SharedDistributedArray` overrides both
+        hooks to place blocks in the transport's shared arenas)."""
+        return np.zeros(shape, dtype=self.dtype)
+
+    def _release_block(self, rank: int, block: np.ndarray) -> None:
+        """Release whatever :meth:`_new_block` acquired (no-op for the heap)."""
 
     # -- lifetime ------------------------------------------------------------
 
@@ -92,9 +103,10 @@ class DistributedArray:
         """Release storage and memory accounting (idempotent)."""
         if self._freed:
             return
-        if self._account:
-            for rank, block in self.blocks.items():
+        for rank, block in self.blocks.items():
+            if self._account:
                 self.machine.free(rank, block.nbytes)
+            self._release_block(rank, block)
         self.blocks.clear()
         self._freed = True
 

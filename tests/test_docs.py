@@ -10,6 +10,8 @@ Three enforced contracts:
 * the metric catalog table in ``docs/OBSERVABILITY.md`` is
   byte-identical to what the live metric catalog renders
   (:func:`repro.obs.catalog.metric_catalog_table`);
+* ``docs/CI.md`` documents every job of both GitHub workflows -- and
+  no job that no longer exists;
 * every public name exported from ``repro`` and ``repro.service`` (and
   every module) carries a docstring.
 """
@@ -19,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import inspect
+import re
 from pathlib import Path
 
 import pytest
@@ -72,6 +75,50 @@ def test_fuzzing_doc_covers_kinds_and_profiles():
     assert "python -m repro.fuzz" in text
     assert "tests/fuzz_corpus" in text
     assert "HYPOTHESIS_PROFILE" in text
+
+
+def _workflow_jobs(path: Path) -> list[str]:
+    """Top-level job ids of a GitHub Actions workflow file.
+
+    A two-space-indented ``name:`` line under the top-level ``jobs:``
+    key is a job id; intentionally a line parse so the test needs no
+    YAML dependency.
+    """
+    jobs, in_jobs = [], False
+    for line in path.read_text().splitlines():
+        if line.startswith("jobs:"):
+            in_jobs = True
+            continue
+        if in_jobs:
+            if line and not line[0].isspace():
+                in_jobs = False
+                continue
+            m = re.match(r"^  ([A-Za-z0-9_-]+):\s*$", line)
+            if m:
+                jobs.append(m.group(1))
+    return jobs
+
+
+def test_ci_doc_covers_every_job():
+    """docs/CI.md must document every job of both workflows -- and must
+    not document a job that no longer exists."""
+    text = (DOCS / "CI.md").read_text()
+    workflows = REPO / ".github" / "workflows"
+    jobs: set[str] = set()
+    for wf in ("ci.yml", "nightly.yml"):
+        found = _workflow_jobs(workflows / wf)
+        assert found, f".github/workflows/{wf} declares no jobs?"
+        jobs.update(found)
+    missing = sorted(j for j in jobs if f"`{j}`" not in text)
+    assert not missing, f"docs/CI.md does not document jobs: {missing}"
+    documented = set(re.findall(r"^\| `([A-Za-z0-9_-]+)` \|", text, flags=re.M))
+    stale = sorted(documented - jobs)
+    assert not stale, f"docs/CI.md documents jobs that no longer exist: {stale}"
+    # the operator-facing anchors the doc promises
+    assert ".github/actions/setup-repro" in text
+    assert "cancel-in-progress" in text
+    assert "REPRO_MP_SEEDS" in text
+    assert "GITHUB_STEP_SUMMARY" in text
 
 
 def test_pass_table_matches_registry():

@@ -326,4 +326,7 @@ def test_regression_gate_exit_codes(tmp_path):
     (tmp_path / "BENCH_symbolic.json").write_text(
         (baselines / "BENCH_symbolic.json").read_text()
     )
+    (tmp_path / "BENCH_mp.json").write_text(
+        (baselines / "BENCH_mp.json").read_text()
+    )
     assert _invoke([gate, "--fresh-dir", str(tmp_path)]).returncode == 1

@@ -1,0 +1,479 @@
+"""Differential gate for the real multi-process backend.
+
+The mp backend (:mod:`repro.runtime.mpbackend` over
+:mod:`repro.spmd.transport`) claims to be *observationally identical* to
+the simulator -- same array values, same traffic ledger, same drift
+inputs -- while actually moving every remote byte between forked worker
+ranks over pipes.  This suite is that claim's gate:
+
+* **figures** -- Fig. 1 / 12 / 16 programs under every schedule policy
+  (plus unscheduled), eager and symbolic options: bit-identical values
+  and an identical ``machine.stats`` snapshot vs the simulator;
+* **workload sweep** -- random legal workloads (seed count scaled by
+  ``REPRO_MP_SEEDS``; CI's nightly leg runs the full 0..100 acceptance
+  range), eager and symbolic, all policies;
+* **transport discipline** -- one-port violations, local copies on the
+  wire, lying prescriptions and dead workers all raise
+  :class:`~repro.errors.TransportError` instead of corrupting data;
+* **plumbing** -- arena allocation, backend reuse, ``ExecutionResult.mp``
+  reporting, ``repro.mp.*`` metrics, and the opt-in ``backend="mp"``
+  paths through :meth:`CompilerSession.run` and the service.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    CompilerSession,
+    ExecutionEnv,
+    Machine,
+    compile_program,
+)
+from repro.apps.workloads import random_environment, random_legal_subroutine
+from repro.errors import ScheduleError, TransportError
+from repro.obs import REGISTRY
+from repro.runtime.mpbackend import MPBackend, MPExecutor, execute_mp
+from repro.service import CompileRequest, CompileService
+from repro.spmd.cost import CostModel
+from repro.spmd.transport import (
+    MPTransport,
+    SharedArena,
+    TransferRound,
+    WireMessage,
+    WirePart,
+    fork_available,
+    measured_phase_time,
+)
+from test_schedule import FIGURES, _run, _with_policy
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="mp transport requires the fork start method"
+)
+
+POLICIES = (None, "naive", "round-robin", "aggregate")
+
+#: workload-sweep seed count; tier-1 keeps it small, the nightly mp
+#: differential leg sets REPRO_MP_SEEDS=101 for the full acceptance range
+SEEDS = int(os.environ.get("REPRO_MP_SEEDS", "12"))
+
+
+@pytest.fixture(scope="module")
+def backend():
+    """One pool of 4 forked ranks shared by the whole module (forking per
+    test would dominate the differential matrix)."""
+    with MPBackend(4) as b:
+        yield b
+
+
+def _run_mp(backend, compiled, w):
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(
+        conditions=dict(w["conditions"]),
+        bindings=dict(w["bindings"]),
+        inputs={k: v.copy() for k, v in w["inputs"].items()},
+    )
+    name = next(iter(compiled.subroutines))
+    result = backend.execute(compiled, entry=name, machine=machine, env=env)
+    values = {a: result.value(a) for a in compiled.get(name).sub.arrays}
+    return values, machine.stats, result
+
+
+def _assert_identical(mp, sim, context):
+    mp_values, mp_stats = mp
+    sim_values, sim_stats = sim
+    for a in sim_values:
+        assert np.array_equal(mp_values[a], sim_values[a]), (*context, a)
+    assert mp_stats.snapshot() == sim_stats.snapshot(), context
+
+
+# ---------------------------------------------------------------------------
+# the acceptance differential: figures x policies x eager/symbolic
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p or "unscheduled")
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figures_mp_matches_simulator(backend, name, policy):
+    w = FIGURES[name]
+    compiled = compile_program(
+        w["source"],
+        bindings=w["bindings"],
+        processors=4,
+        options=CompilerOptions(level=3, schedule=policy),
+    )
+    values, stats, _ = _run_mp(backend, compiled, w)
+    _assert_identical((values, stats), _run(compiled, w), (name, policy))
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p or "unscheduled")
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figures_mp_matches_simulator_symbolic(backend, name, policy):
+    """Same differential through the symbolic path: compile once at
+    symbolic shape, execute the instantiated artifact on both backends."""
+    w = FIGURES[name]
+    compiled = compile_program(
+        w["source"],
+        bindings=w["bindings"],
+        processors=4,
+        options=CompilerOptions.symbolic(level=3, schedule=policy),
+    )
+    values, stats, _ = _run_mp(backend, compiled, w)
+    _assert_identical((values, stats), _run(compiled, w), (name, policy, "symbolic"))
+
+
+@pytest.mark.parametrize("mode", ["eager", "symbolic"])
+def test_workload_seeds_mp_matches_simulator(backend, mode):
+    """Random legal workloads, every policy: bit-identical values and an
+    identical traffic ledger between the mp backend and the simulator."""
+    for seed in range(SEEDS):
+        rng = np.random.default_rng(seed)
+        program = random_legal_subroutine(rng, n_arrays=2, length=5, depth=1)
+        conditions, inputs = random_environment(rng, n_arrays=2)
+        w = dict(bindings={}, conditions=conditions, inputs=inputs)
+        for policy in POLICIES:
+            if mode == "symbolic":
+                options = CompilerOptions.symbolic(level=3, schedule=policy)
+            else:
+                options = CompilerOptions(level=3, schedule=policy)
+            compiled = compile_program(program, processors=4, options=options)
+            values, stats, _ = _run_mp(backend, compiled, w)
+            _assert_identical(
+                (values, stats), _run(compiled, w), (seed, policy, mode)
+            )
+
+
+def test_mp_runs_with_fused_simulator_reference(backend):
+    """The simulator reference may replay fused loop traces (PR 9); the mp
+    backend always interprets -- and the ledgers still agree, because
+    fusion is semantics-preserving."""
+    w = FIGURES["fig16"]
+    compiled = compile_program(
+        w["source"],
+        bindings=w["bindings"],
+        processors=4,
+        options=CompilerOptions(level=3, schedule="round-robin"),
+    )
+    sim_values, sim_stats = _run(compiled, w)  # fuse_loops defaults on
+    values, stats, result = _run_mp(backend, compiled, w)
+    assert result.fusion.replays == 0  # the transport carried every message
+    _assert_identical((values, stats), (sim_values, sim_stats), ("fig16", "fused-ref"))
+
+
+# ---------------------------------------------------------------------------
+# the measured report and the obs surface
+# ---------------------------------------------------------------------------
+
+
+def test_execution_result_carries_mp_report(backend):
+    w = FIGURES["fig16"]
+    compiled = compile_program(
+        w["source"],
+        bindings=w["bindings"],
+        processors=4,
+        options=CompilerOptions(level=3, schedule="round-robin"),
+    )
+    _, stats, result = _run_mp(backend, compiled, w)
+    report = result.mp
+    assert report is not None and report.nprocs == 4
+    # the transport carried exactly the ledger's remote traffic
+    assert report.messages == stats.messages
+    assert report.bytes_moved == stats.bytes
+    assert report.exchanges > 0 and report.phases >= report.exchanges
+    assert len(report.phase_wall_seconds) == report.phases
+    assert len(report.phase_port_seconds) == report.phases
+    assert report.wall_seconds > 0.0 and report.port_seconds > 0.0
+    assert report.measured_makespan == report.port_seconds
+    snap = report.snapshot()
+    assert snap["messages"] == report.messages
+    assert snap["nprocs"] == 4
+    ratio = report.calibration_ratio(1e-3)
+    assert ratio > 0.0 and np.isfinite(ratio)
+    assert np.isnan(report.calibration_ratio(0.0))
+
+
+def test_simulator_result_has_no_mp_report():
+    w = FIGURES["fig16"]
+    compiled = compile_program(
+        w["source"], bindings=w["bindings"], processors=4,
+        options=CompilerOptions(level=3),
+    )
+    machine = Machine(compiled.processors)
+    env = ExecutionEnv(
+        conditions={}, bindings=dict(w["bindings"]),
+        inputs={k: v.copy() for k, v in w["inputs"].items()},
+    )
+    from repro.runtime.executor import Executor
+
+    result = Executor(compiled, machine, env).run(next(iter(compiled.subroutines)))
+    assert result.mp is None
+
+
+def _total(snapshot: dict, name: str) -> float:
+    return sum(
+        m["value"]
+        for m in snapshot["metrics"]
+        if m["name"] == name and "value" in m
+    )
+
+
+def test_mp_metrics_published(backend):
+    before = REGISTRY.snapshot()
+    w = FIGURES["fig1"]
+    compiled = compile_program(
+        w["source"], bindings=w["bindings"], processors=4,
+        options=CompilerOptions(level=3, schedule="aggregate"),
+    )
+    _, stats, result = _run_mp(backend, compiled, w)
+    after = REGISTRY.snapshot()
+    for name, want in (
+        ("repro.mp.exchanges", result.mp.exchanges),
+        ("repro.mp.messages", result.mp.messages),
+        ("repro.mp.bytes_moved", result.mp.bytes_moved),
+    ):
+        assert _total(after, name) - _total(before, name) == want, name
+    assert _total(after, "repro.mp.workers") == 4  # the module backend's pool
+
+
+# ---------------------------------------------------------------------------
+# the transport itself: arenas, wire rounds, discipline
+# ---------------------------------------------------------------------------
+
+
+def test_arena_allocates_aligned_and_coalesces():
+    arena = SharedArena(1 << 12)
+    a = arena.allocate(100)
+    b = arena.allocate(100)
+    assert a % 64 == 0 and b % 64 == 0 and b >= a + 100
+    free_before = arena.free_bytes()
+    arena.release(a, 100)
+    arena.release(b, 100)
+    assert arena.free_bytes() > free_before
+    # released neighbours coalesce: the full arena is one extent again
+    c = arena.allocate(1 << 12)
+    assert c == 0
+    arena.release(c, 1 << 12)
+    arena.close()
+
+
+def test_arena_exhaustion_raises():
+    arena = SharedArena(1 << 10)
+    with pytest.raises(TransportError, match="arena"):
+        arena.allocate(1 << 20)
+    arena.close()
+    with pytest.raises(TransportError):
+        SharedArena(0)
+
+
+def test_measured_phase_time_mirrors_cost_model():
+    """If the measured per-message costs equal the modeled ones, the
+    composed phase durations must agree exactly -- same formula."""
+    cost = CostModel()
+    msgs = [(0, 1, 1000), (2, 3, 4000), (0, 3, 2000)]
+    measured = [(s, d, cost.message_cost(n)) for s, d, n in msgs]
+    for contended in (False, True):
+        assert measured_phase_time(measured, contended) == pytest.approx(
+            cost.phase_time(msgs, contended=contended)
+        )
+    assert measured_phase_time([], True) == 0.0
+
+
+def test_transport_moves_prescribed_bytes():
+    """A hand-built round moves exactly the prescribed rectangle between
+    two ranks' arenas (parent and workers share the mapping)."""
+    with MPTransport(2, arena_bytes=1 << 16) as t:
+        src_off, src = t.place_block(0, (4, 4), np.float64)
+        dst_off, dst = t.place_block(1, (4, 4), np.float64)
+        src[...] = np.arange(16, dtype=np.float64).reshape(4, 4)
+        dst.fill(-1.0)
+        ix = np.ix_([1, 2], [0, 3])
+        part = WirePart(
+            src_block=(src_off, (4, 4), "<f8"),
+            dst_block=(dst_off, (4, 4), "<f8"),
+            src_ix=ix,
+            dst_ix=ix,
+            shape=(2, 2),
+            nbytes=4 * 8,
+        )
+        report = t.exchange(
+            (TransferRound((WireMessage(0, 1, (part,)),), contended=False),)
+        )
+        assert report.messages == 1 and report.bytes == 32
+        assert np.array_equal(dst[ix], src[ix])
+        untouched = dst == -1.0
+        assert untouched.sum() == 12  # nothing outside the rectangle moved
+        t.release_block(0, src_off, src.nbytes)
+        t.release_block(1, dst_off, dst.nbytes)
+
+
+def _unit_part(t, src_rank, dst_rank):
+    src_off, src = t.place_block(src_rank, (2,), np.float64)
+    dst_off, dst = t.place_block(dst_rank, (2,), np.float64)
+    ix = (np.array([0, 1]),)
+    return WirePart(
+        src_block=(src_off, (2,), "<f8"),
+        dst_block=(dst_off, (2,), "<f8"),
+        src_ix=ix,
+        dst_ix=ix,
+        shape=(2,),
+        nbytes=16,
+    )
+
+
+def test_contention_free_round_rejects_one_port_violation():
+    """The transport applies the same one-port authority Machine.run_phase
+    does, so a violating round raises the same ScheduleError."""
+    with MPTransport(3, arena_bytes=1 << 14) as t:
+        messages = (
+            WireMessage(0, 2, (_unit_part(t, 0, 2),)),
+            WireMessage(1, 2, (_unit_part(t, 1, 2),)),  # rank 2 receives twice
+        )
+        with pytest.raises(ScheduleError, match="receives twice"):
+            t.exchange((TransferRound(messages, contended=False),))
+        # the same pair set is legal when declared contended
+        report = t.exchange((TransferRound(messages, contended=True),))
+        assert report.messages == 2
+
+
+def test_local_copy_on_the_wire_is_rejected():
+    with MPTransport(2, arena_bytes=1 << 14) as t:
+        part = _unit_part(t, 0, 0)
+        with pytest.raises(TransportError, match="local copy"):
+            t.exchange((TransferRound((WireMessage(0, 0, (part,)),), contended=True),))
+
+
+def test_worker_failure_surfaces_as_transport_error():
+    """A prescription whose scatter cannot apply (payload shape does not
+    match the destination rectangle) fails in the worker and surfaces as
+    a TransportError, not as silent corruption."""
+    with MPTransport(2, arena_bytes=1 << 14) as t:
+        good = _unit_part(t, 0, 1)
+        bad = WirePart(
+            src_block=good.src_block,
+            dst_block=good.dst_block,
+            src_ix=good.src_ix,
+            dst_ix=(np.array([0]),),  # 1 slot for a 2-element payload
+            shape=(2,),
+            nbytes=16,
+        )
+        with pytest.raises(TransportError, match="rank 1 failed"):
+            t.exchange((TransferRound((WireMessage(0, 1, (bad,)),), contended=True),))
+
+
+def test_dead_worker_detected():
+    t = MPTransport(2, arena_bytes=1 << 14)
+    t.start()
+    try:
+        part = _unit_part(t, 0, 1)
+        os.kill(t._procs[1].pid, signal.SIGKILL)
+        t._procs[1].join(timeout=5.0)
+        with pytest.raises(TransportError):
+            t.exchange((TransferRound((WireMessage(0, 1, (part,)),), contended=True),))
+    finally:
+        t.close()
+
+
+def test_closed_transport_rejects_exchanges():
+    t = MPTransport(2, arena_bytes=1 << 14)
+    with pytest.raises(TransportError, match="not running"):
+        t.exchange(())
+    t.start()
+    t.close()
+    with pytest.raises(TransportError, match="not running"):
+        t.exchange(())
+
+
+def test_transport_rejects_bad_rank_count():
+    with pytest.raises(TransportError):
+        MPTransport(0)
+
+
+# ---------------------------------------------------------------------------
+# executor / backend plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_mpexecutor_requires_matching_transport(backend):
+    w = FIGURES["fig16"]
+    compiled = compile_program(
+        w["source"], bindings=w["bindings"], processors=4,
+        options=CompilerOptions(level=3),
+    )
+    with pytest.raises(TransportError, match="requires"):
+        MPExecutor(compiled, Machine(compiled.processors))
+    two = compile_program(
+        w["source"], bindings=w["bindings"], processors=2,
+        options=CompilerOptions(level=3),
+    )
+    with pytest.raises(TransportError, match="worker rank"):
+        MPExecutor(two, Machine(two.processors), transport=backend.transport)
+
+
+def test_backend_reuse_and_transient_helper():
+    """One backend survives many runs; execute_mp works standalone and
+    its result's values stay readable after the workers are gone."""
+    w = FIGURES["fig1"]
+    compiled = compile_program(
+        w["source"], bindings=w["bindings"], processors=4,
+        options=CompilerOptions(level=3, schedule="naive"),
+    )
+    ref_values, _ = _run(compiled, w)
+    env = lambda: ExecutionEnv(  # noqa: E731 - tiny local factory
+        conditions={}, bindings=dict(w["bindings"]),
+        inputs={k: v.copy() for k, v in w["inputs"].items()},
+    )
+    with MPBackend(4) as b:
+        r1 = b.execute(compiled, env=env())
+        r2 = b.execute(compiled, env=env())
+        for a in ref_values:
+            assert np.array_equal(r1.value(a), ref_values[a])
+            assert np.array_equal(r2.value(a), ref_values[a])
+    r3 = execute_mp(compiled, env=env())
+    for a in ref_values:
+        assert np.array_equal(r3.value(a), ref_values[a])  # post-close reads
+
+
+# ---------------------------------------------------------------------------
+# the opt-in front doors: session.run and the service
+# ---------------------------------------------------------------------------
+
+
+def test_session_run_backend_mp_matches_sim():
+    w = FIGURES["fig12-then"]
+    session = CompilerSession(options=CompilerOptions(level=3, schedule="round-robin"))
+    kw = dict(
+        bindings=dict(w["bindings"]),
+        conditions=dict(w["conditions"]),
+        inputs={k: v.copy() for k, v in w["inputs"].items()},
+        processors=4,
+    )
+    sim = session.run(w["source"], **kw)
+    mp = session.run(w["source"], backend="mp", **kw)
+    assert mp.mp is not None and mp.mp.nprocs == 4
+    for a in ("a", "b", "c"):
+        assert np.array_equal(mp.value(a), sim.value(a)), a
+    with pytest.raises(ValueError, match="unknown backend"):
+        session.run(w["source"], backend="gpu", **kw)
+
+
+def test_service_backend_mp_round_trip():
+    w = FIGURES["fig16"]
+    with CompileService(processors=4, workers=1) as svc:
+        req = dict(
+            source=w["source"],
+            bindings=dict(w["bindings"]),
+            inputs={k: v.copy() for k, v in w["inputs"].items()},
+            options=CompilerOptions(level=3, schedule="aggregate"),
+        )
+        sim = svc.submit(CompileRequest(**req)).result()
+        mp = svc.submit(CompileRequest(backend="mp", **req)).result()
+        bad = svc.submit(CompileRequest(backend="quantum", **req)).result()
+    assert sim.error is None and mp.error is None
+    assert mp.result.mp is not None and mp.result.mp.messages > 0
+    assert np.array_equal(mp.result.value("a"), sim.result.value("a"))
+    assert isinstance(bad.error, ValueError)  # contained, not leaked

@@ -26,7 +26,9 @@ spec.loader.exec_module(check_regression)
 check_schedule = check_regression.check_schedule
 check_service = check_regression.check_service
 check_symbolic = check_regression.check_symbolic
+check_mp = check_regression.check_mp
 check_obs_snapshot = check_regression.check_obs_snapshot
+write_step_summary = check_regression.write_step_summary
 
 
 def _symbolic(hit_rate=0.97, entries=1, speedup=36.0, inst_ms=1.0, pairs=32):
@@ -197,13 +199,9 @@ def test_main_exit_codes(tmp_path, capsys):
     svc = json.loads((base_dir / "BENCH_service.json").read_text())
     for r in svc["results"].values():
         r["warm_rps"] = float(r["warm_rps"]) / 10.0
-    (tmp_path / "BENCH_schedule.json").write_text(
-        (base_dir / "BENCH_schedule.json").read_text()
-    )
+    for name in ("BENCH_schedule.json", "BENCH_symbolic.json", "BENCH_mp.json"):
+        (tmp_path / name).write_text((base_dir / name).read_text())
     (tmp_path / "BENCH_service.json").write_text(json.dumps(svc))
-    (tmp_path / "BENCH_symbolic.json").write_text(
-        (base_dir / "BENCH_symbolic.json").read_text()
-    )
     assert (
         check_regression.main(
             ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
@@ -342,6 +340,183 @@ def test_gate_passes_on_committed_baselines_shape():
     sched = json.loads((base_dir / "BENCH_schedule.json").read_text())
     svc = json.loads((base_dir / "BENCH_service.json").read_text())
     sym = json.loads((base_dir / "BENCH_symbolic.json").read_text())
+    mp = json.loads((base_dir / "BENCH_mp.json").read_text())
     assert check_schedule(sched, sched, 2.0)[0] == []
     assert check_service(svc, svc, 2.0)[0] == []
     assert check_symbolic(sym, sym, 2.0)[0] == []
+    assert check_mp(mp, mp, 2.0)[0] == []
+
+
+# ---------------------------------------------------------------------------
+# the mp-transport gate
+# ---------------------------------------------------------------------------
+
+
+def _mp(
+    rr_port=2500.0,
+    naive_port=5200.0,
+    agg_msgs=12,
+    rr_msgs=48,
+    bytes_=4096,
+    calibration=2.0,
+    nprocs=8,
+):
+    def policy(port, msgs):
+        return {
+            "port_us": port,
+            "wall_us": port * 3,
+            "predicted_us": port / calibration,
+            "calibration": calibration,
+            "messages": msgs,
+            "bytes": bytes_,
+            "phases": 7,
+        }
+
+    return {
+        "experiment": "mp-transport",
+        "nprocs": nprocs,
+        "n": 4096,
+        "trips": 4,
+        "results": {
+            "naive": policy(naive_port, rr_msgs),
+            "round-robin": policy(rr_port, rr_msgs),
+            "aggregate": policy(rr_port, agg_msgs),
+        },
+    }
+
+
+def test_mp_clean_within_tolerance():
+    problems, compared = check_mp(_mp(), _mp(), 2.0)
+    assert problems == [] and compared == 4
+
+
+def test_mp_measured_ordering_violation_fails():
+    fresh = _mp(rr_port=9000.0, naive_port=5000.0)
+    problems, _ = check_mp(fresh, fresh, 2.0)
+    assert any("makespan-ordering violation" in p for p in problems)
+
+
+def test_mp_aggregation_regression_fails():
+    fresh = _mp(agg_msgs=99)
+    problems, _ = check_mp(fresh, fresh, 2.0)
+    assert any("aggregation increased real messages" in p for p in problems)
+
+
+def test_mp_deterministic_traffic_drift_fails():
+    problems, _ = check_mp(_mp(rr_msgs=50), _mp(rr_msgs=48), 2.0)
+    assert any("deterministic messages drifted" in p for p in problems)
+    problems, _ = check_mp(_mp(bytes_=1), _mp(), 2.0)
+    assert any("deterministic bytes drifted" in p for p in problems)
+
+
+def test_mp_calibration_band_is_wide_but_bounded():
+    # 10x worse calibration: a slow runner, inside the 10*max_slowdown band
+    problems, _ = check_mp(_mp(calibration=20.0), _mp(calibration=2.0), 2.0)
+    assert problems == []
+    # 25x: an accidental sync/sleep in the transport, outside the band
+    problems, _ = check_mp(_mp(calibration=50.0), _mp(calibration=2.0), 2.0)
+    assert any("calibration ratio regressed" in p for p in problems)
+
+
+def test_mp_different_experiment_shape_skips_baseline_comparison():
+    # a smoke sweep at another machine size is incomparable against the
+    # baseline, but the fresh ordering invariants still gate
+    problems, compared = check_mp(
+        _mp(nprocs=4, rr_msgs=5000, calibration=99.0), _mp(), 2.0
+    )
+    assert problems == [] and compared == 1
+
+
+def test_mp_nonpositive_calibration_flagged():
+    fresh = _mp()
+    fresh["results"]["naive"]["calibration"] = 0.0
+    problems, _ = check_mp(fresh, fresh, 2.0)
+    assert any("not positive" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# the GITHUB_STEP_SUMMARY writer
+# ---------------------------------------------------------------------------
+
+
+def test_step_summary_unset_is_silent_noop(tmp_path, monkeypatch):
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    assert write_step_summary(["## Perf gate"]) is False
+
+
+def test_step_summary_appends_markdown(tmp_path, monkeypatch):
+    target = tmp_path / "summary.md"
+    target.write_text("# Earlier step\n")
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+    assert write_step_summary(["## Perf gate", "", "**OK**"]) is True
+    text = target.read_text()
+    assert text.startswith("# Earlier step\n")  # appended, not clobbered
+    assert "## Perf gate" in text and "**OK**" in text
+
+
+def test_main_writes_step_summary_on_every_verdict(tmp_path, monkeypatch, capsys):
+    import json
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    names = (
+        "BENCH_schedule.json",
+        "BENCH_service.json",
+        "BENCH_symbolic.json",
+        "BENCH_mp.json",
+    )
+
+    # clean run -> OK verdict with the per-benchmark comparison table
+    summary = tmp_path / "ok.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert check_regression.main(
+        ["--fresh-dir", str(base_dir), "--baseline-dir", str(base_dir)]
+    ) == 0
+    text = summary.read_text()
+    assert "## Perf gate" in text and "OK" in text
+    assert "BENCH_mp.json" in text
+    capsys.readouterr()
+
+    # regression run -> the violation lands in the summary markdown
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    for name in names:
+        (fresh / name).write_text((base_dir / name).read_text())
+    mp = json.loads((fresh / "BENCH_mp.json").read_text())
+    mp["results"]["round-robin"]["port_us"] = (
+        mp["results"]["naive"]["port_us"] * 10.0
+    )
+    (fresh / "BENCH_mp.json").write_text(json.dumps(mp))
+    summary = tmp_path / "bad.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert check_regression.main(
+        ["--fresh-dir", str(fresh), "--baseline-dir", str(base_dir)]
+    ) == 1
+    assert "makespan-ordering violation" in summary.read_text()
+    capsys.readouterr()
+
+    # infrastructure failure -> exit 2, also surfaced in the summary
+    summary = tmp_path / "infra.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    with __import__("pytest").raises(SystemExit) as exc:
+        check_regression.main(
+            ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+        )
+    assert exc.value.code == 2
+    assert "infrastructure failure" in summary.read_text()
+    capsys.readouterr()
+
+
+def test_missing_mp_json_is_infrastructure_failure(tmp_path, capsys):
+    """The bench-smoke leg must actually run bench_mp: a missing fresh
+    BENCH_mp.json exits 2, never a silent pass."""
+    import pytest
+
+    base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    for name in ("BENCH_schedule.json", "BENCH_service.json", "BENCH_symbolic.json"):
+        (tmp_path / name).write_text((base_dir / name).read_text())
+    with pytest.raises(SystemExit) as exc:
+        check_regression.main(
+            ["--fresh-dir", str(tmp_path), "--baseline-dir", str(base_dir)]
+        )
+    assert exc.value.code == 2
+    capsys.readouterr()
